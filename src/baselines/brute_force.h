@@ -1,0 +1,31 @@
+// Exact sequential reference scan. Ground truth for the test suite; also a
+// sanity baseline for the harness.
+#ifndef GTS_BASELINES_BRUTE_FORCE_H_
+#define GTS_BASELINES_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace gts {
+
+class BruteForce final : public SimilarityIndex {
+ public:
+  explicit BruteForce(MethodContext context) : SimilarityIndex(context) {}
+
+  std::string_view Name() const override { return "BruteForce"; }
+  bool IsGpuMethod() const override { return false; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override { return 0; }
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,183 @@
+#include "baselines/bst.h"
+
+#include <algorithm>
+
+namespace gts {
+
+Status Bst::Build(const Dataset* data, const DistanceMetric* metric) {
+  if (!metric->SupportsKind(data->kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+  data_ = data;
+  metric_ = metric;
+  nodes_.clear();
+  tombstone_.assign(data->size(), 0);
+
+  const uint64_t start_ops = metric_->stats().ops;
+  std::vector<uint32_t> ids(data->size());
+  for (uint32_t i = 0; i < data->size(); ++i) ids[i] = i;
+  Rng rng(context_.seed);
+  if (!ids.empty()) BuildNode(std::move(ids), &rng);
+  ChargeMetricDelta(1, start_ops);
+  ChargeOps(1, nodes_.size() * 8);
+
+  if (IndexBytes() > context_.host_memory_bytes) {
+    return Status::MemoryLimit("BST index exceeds host memory budget");
+  }
+  return Status::Ok();
+}
+
+int32_t Bst::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (ids.size() <= kLeafSize) {
+    nodes_[idx].bucket = std::move(ids);
+    return idx;
+  }
+
+  const uint32_t c1 = ids[rng->UniformU64(ids.size())];
+  // c2: the object farthest from c1 (classic bisector pick).
+  std::vector<float> d1(ids.size());
+  uint32_t c2 = c1;
+  float best = -1.0f;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    d1[i] = metric_->Distance(*data_, ids[i], c1);
+    if (d1[i] > best) {
+      best = d1[i];
+      c2 = ids[i];
+    }
+  }
+  if (best <= 0.0f) {  // all duplicates: no bisector exists
+    nodes_[idx].bucket = std::move(ids);
+    return idx;
+  }
+
+  std::vector<uint32_t> left_ids, right_ids;
+  float r1 = 0.0f, r2 = 0.0f;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float d2 = metric_->Distance(*data_, ids[i], c2);
+    if (d1[i] <= d2) {
+      left_ids.push_back(ids[i]);
+      r1 = std::max(r1, d1[i]);
+    } else {
+      right_ids.push_back(ids[i]);
+      r2 = std::max(r2, d2);
+    }
+  }
+  if (left_ids.empty() || right_ids.empty()) {  // degenerate split
+    nodes_[idx].bucket = std::move(ids);
+    return idx;
+  }
+
+  nodes_[idx].c1 = c1;
+  nodes_[idx].c2 = c2;
+  nodes_[idx].r1 = r1;
+  nodes_[idx].r2 = r2;
+  const int32_t left = BuildNode(std::move(left_ids), rng);
+  const int32_t right = BuildNode(std::move(right_ids), rng);
+  nodes_[idx].left = left;
+  nodes_[idx].right = right;
+  return idx;
+}
+
+Result<RangeResults> Bst::RangeBatch(const Dataset& queries,
+                                     std::span<const float> radii) {
+  RangeResults out(queries.size());
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    if (!nodes_.empty()) RangeRec(0, queries, q, radii[q], &out[q]);
+    std::sort(out[q].begin(), out[q].end());
+  }
+  ChargeMetricDelta(1, start_ops);
+  return out;
+}
+
+void Bst::RangeRec(int32_t node, const Dataset& queries, uint32_t q, float r,
+                   std::vector<uint32_t>* out) const {
+  const Node& n = nodes_[node];
+  if (n.left < 0) {
+    for (const uint32_t id : n.bucket) {
+      if (tombstone_[id]) continue;
+      if (metric_->Distance(queries, q, *data_, id) <= r) out->push_back(id);
+    }
+    return;
+  }
+  const float d1 = metric_->Distance(queries, q, *data_, n.c1);
+  const float d2 = metric_->Distance(queries, q, *data_, n.c2);
+  if (d1 - r <= n.r1) RangeRec(n.left, queries, q, r, out);
+  if (d2 - r <= n.r2) RangeRec(n.right, queries, q, r, out);
+}
+
+Result<KnnResults> Bst::KnnBatch(const Dataset& queries, uint32_t k) {
+  KnnResults out(queries.size());
+  if (k == 0) return out;
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    TopK topk(k);
+    if (!nodes_.empty()) KnnRec(0, queries, q, &topk);
+    out[q] = std::move(topk.items);
+  }
+  ChargeMetricDelta(1, start_ops);
+  return out;
+}
+
+void Bst::KnnRec(int32_t node, const Dataset& queries, uint32_t q,
+                 TopK* topk) const {
+  const Node& n = nodes_[node];
+  if (n.left < 0) {
+    for (const uint32_t id : n.bucket) {
+      if (tombstone_[id]) continue;
+      topk->Offer(id, metric_->Distance(queries, q, *data_, id));
+    }
+    return;
+  }
+  const float d1 = metric_->Distance(queries, q, *data_, n.c1);
+  const float d2 = metric_->Distance(queries, q, *data_, n.c2);
+  // Visit the nearer side first so the bound tightens early.
+  struct Side {
+    int32_t child;
+    float d, rad;
+  };
+  Side sides[2] = {{n.left, d1, n.r1}, {n.right, d2, n.r2}};
+  if (d2 < d1) std::swap(sides[0], sides[1]);
+  for (const Side& s : sides) {
+    if (s.d - s.rad <= topk->Bound()) KnnRec(s.child, queries, q, topk);
+  }
+}
+
+uint64_t Bst::IndexBytes() const {
+  uint64_t bytes = nodes_.size() * (sizeof(Node) - sizeof(std::vector<uint32_t>));
+  for (const Node& n : nodes_) bytes += n.bucket.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+void Bst::DescendTouch(uint32_t id) const {
+  int32_t node = 0;
+  while (node >= 0 && nodes_[node].left >= 0) {
+    const Node& n = nodes_[node];
+    const float d1 = metric_->Distance(*data_, id, n.c1);
+    const float d2 = metric_->Distance(*data_, id, n.c2);
+    node = (d1 <= d2) ? n.left : n.right;
+  }
+}
+
+Status Bst::StreamRemoveInsert(uint32_t id) {
+  if (nodes_.empty()) return Status::Ok();
+  const uint64_t start_ops = metric_->stats().ops;
+  // Remove: locate the leaf, tombstone. Reinsert: locate again, clear.
+  DescendTouch(id);
+  tombstone_[id] = 1;
+  DescendTouch(id);
+  tombstone_[id] = 0;
+  ChargeMetricDelta(1, start_ops);
+  ChargeOps(1, 16);
+  return Status::Ok();
+}
+
+Status Bst::BatchRemoveInsert(std::span<const uint32_t> ids) {
+  for (const uint32_t id : ids) GTS_RETURN_IF_ERROR(StreamRemoveInsert(id));
+  return Status::Ok();
+}
+
+}  // namespace gts

@@ -1,0 +1,56 @@
+// BST — bisector tree (Kalantari & McDonald 1983), one of the paper's three
+// CPU baselines. Each internal node holds two centers with covering radii;
+// objects are assigned to the nearer center and pruned via the triangle
+// inequality.
+#ifndef GTS_BASELINES_BST_H_
+#define GTS_BASELINES_BST_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/topk.h"
+#include "common/rng.h"
+
+namespace gts {
+
+class Bst final : public SimilarityIndex {
+ public:
+  explicit Bst(MethodContext context) : SimilarityIndex(context) {}
+
+  std::string_view Name() const override { return "BST"; }
+  bool IsGpuMethod() const override { return false; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+
+ private:
+  static constexpr uint32_t kLeafSize = 16;
+
+  struct Node {
+    uint32_t c1 = kInvalidId, c2 = kInvalidId;
+    float r1 = 0.0f, r2 = 0.0f;
+    int32_t left = -1, right = -1;  // -1 on leaves
+    std::vector<uint32_t> bucket;   // leaf payload
+  };
+
+  int32_t BuildNode(std::vector<uint32_t> ids, Rng* rng);
+  void RangeRec(int32_t node, const Dataset& queries, uint32_t q, float r,
+                std::vector<uint32_t>* out) const;
+  void KnnRec(int32_t node, const Dataset& queries, uint32_t q,
+              TopK* topk) const;
+  /// Descends to the leaf that would hold `id` (used by streaming updates).
+  void DescendTouch(uint32_t id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<uint8_t> tombstone_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_BST_H_

@@ -1,0 +1,292 @@
+#include "baselines/egnat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gts {
+
+Status Egnat::Build(const Dataset* data, const DistanceMetric* metric) {
+  if (!metric->SupportsKind(data->kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+  data_ = data;
+  metric_ = metric;
+  nodes_.clear();
+  tombstone_.assign(data->size(), 0);
+  built_bytes_ = 0;
+
+  const uint64_t start_ops = metric_->stats().ops;
+  std::vector<uint32_t> ids(data->size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng(context_.seed);
+  if (!ids.empty()) {
+    auto r = BuildNode(std::move(ids), {}, &rng);
+    if (!r.ok()) {
+      nodes_.clear();
+      return r.status();
+    }
+  }
+  ChargeMetricDelta(1, start_ops);
+  ChargeOps(1, nodes_.size() * 16);
+  return Status::Ok();
+}
+
+Result<int32_t> Egnat::BuildNode(std::vector<uint32_t> ids,
+                                 std::vector<std::vector<float>> parent_rows,
+                                 Rng* rng) {
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (ids.size() <= kLeafSize) {
+    Node& leaf = nodes_[idx];
+    leaf.leaf = true;
+    leaf.parent_m =
+        parent_rows.empty() ? 0 : static_cast<uint32_t>(parent_rows[0].size());
+    leaf.bucket = ids;
+    leaf.leaf_dists.reserve(ids.size() * leaf.parent_m);
+    for (const auto& row : parent_rows) {
+      for (const float d : row) leaf.leaf_dists.push_back(d);
+    }
+    built_bytes_ += ids.size() * (4 + leaf.parent_m * 4);
+    if (built_bytes_ > context_.host_memory_bytes) {
+      return Status::MemoryLimit("EGNAT construction exceeds host memory");
+    }
+    return idx;
+  }
+
+  const uint32_t m = static_cast<uint32_t>(
+      std::min<size_t>(kM, ids.size() / 2));
+
+  // Sample m distinct centers.
+  std::vector<uint32_t> centers;
+  std::vector<size_t> center_pos;
+  while (centers.size() < m) {
+    const size_t p = rng->UniformU64(ids.size());
+    if (std::find(center_pos.begin(), center_pos.end(), p) ==
+        center_pos.end()) {
+      center_pos.push_back(p);
+      centers.push_back(ids[p]);
+    }
+  }
+
+  // Full object-to-center table (cached in the node — EGNAT's footprint).
+  std::vector<float> table(ids.size() * m);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (uint32_t c = 0; c < m; ++c) {
+      table[i * m + c] = metric_->Distance(*data_, ids[i], centers[c]);
+    }
+  }
+
+  built_bytes_ += table.size() * sizeof(float) + m * m * 8 + m * 8 + 64;
+  if (built_bytes_ > context_.host_memory_bytes) {
+    return Status::MemoryLimit("EGNAT construction exceeds host memory");
+  }
+
+  // Dirichlet assignment: each object to its nearest center.
+  std::vector<std::vector<uint32_t>> child_ids(m);
+  std::vector<std::vector<std::vector<float>>> child_rows(m);
+  std::vector<float> lo(m * m, std::numeric_limits<float>::infinity());
+  std::vector<float> hi(m * m, 0.0f);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < m; ++c) {
+      if (table[i * m + c] < table[i * m + best]) best = c;
+    }
+    child_ids[best].push_back(ids[i]);
+    std::vector<float> row(m);
+    for (uint32_t c = 0; c < m; ++c) {
+      row[c] = table[i * m + c];
+      lo[c * m + best] = std::min(lo[c * m + best], row[c]);
+      hi[c * m + best] = std::max(hi[c * m + best], row[c]);
+    }
+    child_rows[best].push_back(std::move(row));
+  }
+
+  {
+    Node& node = nodes_[idx];
+    node.centers = centers;
+    node.range_lo = std::move(lo);
+    node.range_hi = std::move(hi);
+    node.dist_table = std::move(table);
+    node.table_rows = static_cast<uint32_t>(ids.size());
+    node.children.assign(m, -1);
+  }
+
+  // Degenerate split (heavy duplication): everything landed in one region.
+  size_t non_empty = 0;
+  for (uint32_t c = 0; c < m; ++c) non_empty += !child_ids[c].empty();
+  if (non_empty <= 1) {
+    Node& node = nodes_[idx];
+    node.leaf = true;
+    node.parent_m = 0;
+    node.bucket = std::move(ids);
+    node.children.clear();
+    return idx;
+  }
+
+  for (uint32_t c = 0; c < m; ++c) {
+    if (child_ids[c].empty()) continue;
+    auto child = BuildNode(std::move(child_ids[c]), std::move(child_rows[c]),
+                           rng);
+    if (!child.ok()) return child.status();
+    nodes_[idx].children[c] = child.value();
+  }
+  return idx;
+}
+
+Result<RangeResults> Egnat::RangeBatch(const Dataset& queries,
+                                       std::span<const float> radii) {
+  RangeResults out(queries.size());
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    if (!nodes_.empty()) RangeRec(0, queries, q, radii[q], {}, &out[q]);
+    std::sort(out[q].begin(), out[q].end());
+  }
+  ChargeMetricDelta(1, start_ops);
+  return out;
+}
+
+void Egnat::RangeRec(int32_t node, const Dataset& queries, uint32_t q, float r,
+                     std::span<const float> parent_dq,
+                     std::vector<uint32_t>* out) const {
+  const Node& n = nodes_[node];
+  if (n.leaf) {
+    for (size_t i = 0; i < n.bucket.size(); ++i) {
+      const uint32_t id = n.bucket[i];
+      if (tombstone_[id]) continue;
+      bool pruned = false;
+      for (uint32_t c = 0; c < n.parent_m && !pruned; ++c) {
+        if (std::fabs(n.leaf_dists[i * n.parent_m + c] - parent_dq[c]) > r) {
+          pruned = true;
+        }
+      }
+      if (pruned) continue;
+      if (metric_->Distance(queries, q, *data_, id) <= r) out->push_back(id);
+    }
+    return;
+  }
+  const uint32_t m = static_cast<uint32_t>(n.centers.size());
+  std::vector<float> dq(m);
+  for (uint32_t c = 0; c < m; ++c) {
+    dq[c] = metric_->Distance(queries, q, *data_, n.centers[c]);
+  }
+  for (uint32_t child = 0; child < m; ++child) {
+    if (n.children[child] < 0) continue;
+    bool pruned = false;
+    for (uint32_t c = 0; c < m && !pruned; ++c) {
+      if (dq[c] + r < n.range_lo[c * m + child] ||
+          dq[c] - r > n.range_hi[c * m + child]) {
+        pruned = true;
+      }
+    }
+    if (!pruned) RangeRec(n.children[child], queries, q, r, dq, out);
+  }
+}
+
+Result<KnnResults> Egnat::KnnBatch(const Dataset& queries, uint32_t k) {
+  KnnResults out(queries.size());
+  if (k == 0) return out;
+  const uint64_t start_ops = metric_->stats().ops;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    TopK topk(k);
+    if (!nodes_.empty()) KnnRec(0, queries, q, {}, &topk);
+    out[q] = std::move(topk.items);
+  }
+  ChargeMetricDelta(1, start_ops);
+  return out;
+}
+
+void Egnat::KnnRec(int32_t node, const Dataset& queries, uint32_t q,
+                   std::span<const float> parent_dq, TopK* topk) const {
+  const Node& n = nodes_[node];
+  if (n.leaf) {
+    for (size_t i = 0; i < n.bucket.size(); ++i) {
+      const uint32_t id = n.bucket[i];
+      if (tombstone_[id]) continue;
+      bool pruned = false;
+      const float bound = topk->Bound();
+      for (uint32_t c = 0; c < n.parent_m && !pruned; ++c) {
+        if (std::fabs(n.leaf_dists[i * n.parent_m + c] - parent_dq[c]) >
+            bound) {
+          pruned = true;
+        }
+      }
+      if (pruned) continue;
+      topk->Offer(id, metric_->Distance(queries, q, *data_, id));
+    }
+    return;
+  }
+  const uint32_t m = static_cast<uint32_t>(n.centers.size());
+  std::vector<float> dq(m);
+  for (uint32_t c = 0; c < m; ++c) {
+    dq[c] = metric_->Distance(queries, q, *data_, n.centers[c]);
+    if (!tombstone_[n.centers[c]]) topk->Offer(n.centers[c], dq[c]);
+  }
+  // Children in order of increasing center distance.
+  std::vector<uint32_t> order;
+  for (uint32_t child = 0; child < m; ++child) {
+    if (n.children[child] >= 0) order.push_back(child);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return dq[a] < dq[b]; });
+  for (const uint32_t child : order) {
+    const float bound = topk->Bound();
+    bool pruned = false;
+    for (uint32_t c = 0; c < m && !pruned; ++c) {
+      if (dq[c] - bound > n.range_hi[c * m + child] ||
+          dq[c] + bound < n.range_lo[c * m + child]) {
+        pruned = true;
+      }
+    }
+    if (!pruned) KnnRec(n.children[child], queries, q, dq, topk);
+  }
+}
+
+uint64_t Egnat::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += 64;
+    bytes += n.centers.size() * 4 + n.children.size() * 4;
+    bytes += (n.range_lo.size() + n.range_hi.size()) * 4;
+    bytes += n.dist_table.size() * 4;
+    bytes += n.bucket.size() * 4 + n.leaf_dists.size() * 4;
+  }
+  return bytes;
+}
+
+void Egnat::DescendTouch(uint32_t id) const {
+  int32_t node = 0;
+  while (node >= 0 && !nodes_[node].leaf) {
+    const Node& n = nodes_[node];
+    uint32_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (uint32_t c = 0; c < n.centers.size(); ++c) {
+      const float d = metric_->Distance(*data_, id, n.centers[c]);
+      if (d < best_d && n.children[c] >= 0) {
+        best_d = d;
+        best = c;
+      }
+    }
+    node = n.children[best];
+  }
+}
+
+Status Egnat::StreamRemoveInsert(uint32_t id) {
+  if (nodes_.empty()) return Status::Ok();
+  const uint64_t start_ops = metric_->stats().ops;
+  DescendTouch(id);
+  tombstone_[id] = 1;
+  DescendTouch(id);
+  tombstone_[id] = 0;
+  ChargeMetricDelta(1, start_ops);
+  ChargeOps(1, 32);
+  return Status::Ok();
+}
+
+Status Egnat::BatchRemoveInsert(std::span<const uint32_t> ids) {
+  for (const uint32_t id : ids) GTS_RETURN_IF_ERROR(StreamRemoveInsert(id));
+  return Status::Ok();
+}
+
+}  // namespace gts

@@ -1,0 +1,71 @@
+// EGNAT — evolutionary GNAT (Navarro & Uribe-Paredes; Marín et al.), the
+// paper's hybrid CPU baseline. Internal nodes sample m centers, assign
+// objects to the nearest center, and keep per-(center, child) distance-range
+// tables for pruning. Following EGNAT's design of caching distances in the
+// nodes (to support queries and its fully-dynamic updates without
+// recomputation), every internal node also stores the full object-to-center
+// distance table — the reason its footprint dwarfs the other CPU indexes
+// (paper Table 4) and overruns the host budget on T-Loc.
+#ifndef GTS_BASELINES_EGNAT_H_
+#define GTS_BASELINES_EGNAT_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/topk.h"
+#include "common/rng.h"
+
+namespace gts {
+
+class Egnat final : public SimilarityIndex {
+ public:
+  explicit Egnat(MethodContext context) : SimilarityIndex(context) {}
+
+  std::string_view Name() const override { return "EGNAT"; }
+  bool IsGpuMethod() const override { return false; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+
+ private:
+  static constexpr uint32_t kM = 16;       // centers per node
+  static constexpr uint32_t kLeafSize = 32;
+
+  struct Node {
+    std::vector<uint32_t> centers;          // m sampled centers
+    std::vector<int32_t> children;          // per center (Dirichlet regions)
+    std::vector<float> range_lo, range_hi;  // m x m: [center i][child c]
+    std::vector<float> dist_table;          // size x m cached distances
+    uint32_t table_rows = 0;
+    // Leaf payload: objects + their distances to the parent's centers.
+    std::vector<uint32_t> bucket;
+    std::vector<float> leaf_dists;  // bucket.size() x parent_m
+    uint32_t parent_m = 0;
+    bool leaf = false;
+  };
+
+  // `parent_rows[i]` = distances of ids[i] to the parent's centers.
+  Result<int32_t> BuildNode(std::vector<uint32_t> ids,
+                            std::vector<std::vector<float>> parent_rows,
+                            Rng* rng);
+  void RangeRec(int32_t node, const Dataset& queries, uint32_t q, float r,
+                std::span<const float> parent_dq,
+                std::vector<uint32_t>* out) const;
+  void KnnRec(int32_t node, const Dataset& queries, uint32_t q,
+              std::span<const float> parent_dq, TopK* topk) const;
+  void DescendTouch(uint32_t id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<uint8_t> tombstone_;
+  uint64_t built_bytes_ = 0;  // running footprint vs. the host budget
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_EGNAT_H_

@@ -1,0 +1,197 @@
+#include "baselines/ganns.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "gpu/primitives.h"
+
+namespace gts {
+
+Ganns::~Ganns() {
+  if (context_.device != nullptr && resident_bytes_ > 0) {
+    context_.device->Free(resident_bytes_);
+  }
+}
+
+Status Ganns::Build(const Dataset* data, const DistanceMetric* metric) {
+  if (!Supports(*data, *metric)) {
+    return Status::Unsupported("GANNS requires vector data");
+  }
+  data_ = data;
+  metric_ = metric;
+  graph_.clear();
+  entry_points_.clear();
+  if (resident_bytes_ > 0) {
+    context_.device->Free(resident_bytes_);
+    resident_bytes_ = 0;
+  }
+
+  const uint32_t n = data->size();
+  if (n == 0) return Status::Ok();
+  degree_ = std::min<uint32_t>(kDegree, std::max<uint32_t>(1, n - 1));
+
+  // NN-descent working pools: new/old candidate lists and reverse edges —
+  // the construction-time allocation that overruns the device on T-Loc.
+  auto pools = gpu::DeviceBuffer<uint8_t>::Create(
+      context_.device, uint64_t{n} * degree_ * 4 * 8, "GANNS NN-descent pools");
+  if (!pools.ok()) return pools.status();
+
+  Rng rng(context_.seed);
+  struct Cand {
+    uint32_t id;
+    float dist;
+  };
+  std::vector<std::vector<Cand>> adj(n);
+
+  // Random initialization.
+  {
+    gpu::KernelDistanceScope scope(context_.device, metric_,
+                                   uint64_t{n} * degree_);
+    for (uint32_t u = 0; u < n; ++u) {
+      adj[u].reserve(degree_ * 2);
+      while (adj[u].size() < degree_) {
+        const uint32_t v = static_cast<uint32_t>(rng.UniformU64(n));
+        if (v == u) continue;
+        bool dup = false;
+        for (const Cand& c : adj[u]) dup |= (c.id == v);
+        if (dup) continue;
+        adj[u].push_back(Cand{v, metric_->Distance(*data_, u, v)});
+      }
+      std::sort(adj[u].begin(), adj[u].end(),
+                [](const Cand& a, const Cand& b) { return a.dist < b.dist; });
+    }
+  }
+
+  // NN-descent iterations: probe neighbors-of-neighbors.
+  for (uint32_t iter = 0; iter < kIters; ++iter) {
+    gpu::KernelDistanceScope scope(
+        context_.device, metric_,
+        uint64_t{n} * kSamplePerNeighbor * kSamplePerNeighbor);
+    for (uint32_t u = 0; u < n; ++u) {
+      const uint32_t s1 = std::min<uint32_t>(kSamplePerNeighbor,
+                                             adj[u].size());
+      for (uint32_t i = 0; i < s1; ++i) {
+        const uint32_t v = adj[u][i].id;
+        const uint32_t s2 =
+            std::min<uint32_t>(kSamplePerNeighbor, adj[v].size());
+        for (uint32_t j = 0; j < s2; ++j) {
+          const uint32_t w = adj[v][j].id;
+          if (w == u) continue;
+          if (adj[u].size() >= degree_ &&
+              adj[u].back().dist <= 0.0f) {
+            continue;  // already saturated with exact duplicates
+          }
+          bool dup = false;
+          for (const Cand& c : adj[u]) dup |= (c.id == w);
+          if (dup) continue;
+          const float d = metric_->Distance(*data_, u, w);
+          if (adj[u].size() < degree_ || d < adj[u].back().dist) {
+            adj[u].push_back(Cand{w, d});
+            std::sort(adj[u].begin(), adj[u].end(),
+                      [](const Cand& a, const Cand& b) {
+                        return a.dist < b.dist;
+                      });
+            if (adj[u].size() > degree_) adj[u].pop_back();
+          }
+        }
+      }
+    }
+    context_.device->clock().ChargeSort(uint64_t{n} * degree_);
+  }
+
+  graph_.assign(uint64_t{n} * degree_, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t i = 0; i < degree_; ++i) {
+      graph_[uint64_t{u} * degree_ + i] =
+          i < adj[u].size() ? adj[u][i].id : adj[u].empty() ? u : adj[u][0].id;
+    }
+  }
+
+  // A handful of spread entry points for the beam search.
+  for (uint32_t i = 0; i < std::min<uint32_t>(4, n); ++i) {
+    entry_points_.push_back(static_cast<uint32_t>(rng.UniformU64(n)));
+  }
+
+  const uint64_t bytes = data->TotalBytes() + IndexBytes();
+  const Status alloc = context_.device->Allocate(bytes, "GANNS graph");
+  if (!alloc.ok()) {
+    graph_.clear();
+    return alloc;
+  }
+  resident_bytes_ = bytes;
+  context_.device->clock().ChargeRawNs(static_cast<double>(bytes) *
+                                       gpu::kPcieNsPerByte);
+  return Status::Ok();
+}
+
+Result<RangeResults> Ganns::RangeBatch(const Dataset&,
+                                       std::span<const float>) {
+  return Status::Unsupported(
+      "GANNS is a kNN-only graph index; MRQ is not supported");
+}
+
+Result<KnnResults> Ganns::KnnBatch(const Dataset& queries, uint32_t k) {
+  KnnResults out(queries.size());
+  if (graph_.empty() || k == 0) return out;
+  const uint32_t n = data_->size();
+  const uint32_t beam = std::max<uint32_t>(kBeamFloor, 4 * k);
+
+  // Per-batch search workspace (visited flags + beam pools).
+  auto workspace = gpu::DeviceBuffer<uint8_t>::Create(
+      context_.device,
+      uint64_t{queries.size()} * (n / 8 + uint64_t{beam} * 8),
+      "GANNS search workspace");
+  if (!workspace.ok()) return workspace.status();
+
+  const uint64_t start_ops = metric_->stats().ops;
+  uint64_t evals = 0;
+  std::vector<uint8_t> visited(n);
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::fill(visited.begin(), visited.end(), 0);
+    // Best-first beam search over the proximity graph.
+    using HeapItem = std::pair<float, uint32_t>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>> candidates;
+    std::priority_queue<HeapItem> pool;  // max-heap capped at `beam`
+    for (const uint32_t ep : entry_points_) {
+      if (visited[ep]) continue;
+      visited[ep] = 1;
+      const float d = metric_->Distance(queries, q, *data_, ep);
+      ++evals;
+      candidates.emplace(d, ep);
+      pool.emplace(d, ep);
+    }
+    while (!candidates.empty()) {
+      const auto [d, u] = candidates.top();
+      candidates.pop();
+      if (pool.size() >= beam && d > pool.top().first) break;
+      for (uint32_t i = 0; i < degree_; ++i) {
+        const uint32_t v = graph_[uint64_t{u} * degree_ + i];
+        if (visited[v]) continue;
+        visited[v] = 1;
+        const float dv = metric_->Distance(queries, q, *data_, v);
+        ++evals;
+        if (pool.size() < beam || dv < pool.top().first) {
+          candidates.emplace(dv, v);
+          pool.emplace(dv, v);
+          if (pool.size() > beam) pool.pop();
+        }
+      }
+    }
+    TopK topk(k);
+    while (!pool.empty()) {
+      topk.Offer(pool.top().second, pool.top().first);
+      pool.pop();
+    }
+    out[q] = std::move(topk.items);
+  }
+  context_.device->clock().ChargeKernel(std::max<uint64_t>(evals, 1),
+                                        metric_->stats().ops - start_ops);
+  return out;
+}
+
+uint64_t Ganns::IndexBytes() const {
+  return graph_.size() * sizeof(uint32_t) * 2;  // adjacency + reverse lists
+}
+
+}  // namespace gts

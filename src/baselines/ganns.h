@@ -1,0 +1,54 @@
+// GANNS — the paper's special-purpose GPU baseline [58]: a proximity-graph
+// approximate kNN index for vector data. Built with NN-descent, searched
+// with best-first beam search. Approximate, kNN-only (no MRQ), vectors only;
+// its graph plus NN-descent work pools dominate device memory — the paper's
+// Table 4 reports 40x larger storage than GTS and a construction OOM on
+// T-Loc, both reproduced by the tracked allocations here.
+#ifndef GTS_BASELINES_GANNS_H_
+#define GTS_BASELINES_GANNS_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/topk.h"
+#include "common/rng.h"
+
+namespace gts {
+
+class Ganns final : public SimilarityIndex {
+ public:
+  explicit Ganns(MethodContext context) : SimilarityIndex(context) {}
+  ~Ganns() override;
+
+  std::string_view Name() const override { return "GANNS"; }
+  bool IsGpuMethod() const override { return true; }
+  bool IsExact() const override { return false; }
+
+  bool Supports(const Dataset& data,
+                const DistanceMetric& metric) const override {
+    return data.kind() == DataKind::kFloatVector &&
+           metric.SupportsKind(data.kind());
+  }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  /// GANNS answers kNN only; metric range queries are unsupported.
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+ private:
+  static constexpr uint32_t kDegree = 32;
+  static constexpr uint32_t kIters = 3;
+  static constexpr uint32_t kSamplePerNeighbor = 8;
+  static constexpr uint32_t kBeamFloor = 64;
+
+  uint32_t degree_ = kDegree;
+  std::vector<uint32_t> graph_;  // n x degree_ adjacency, sorted by distance
+  std::vector<uint32_t> entry_points_;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_GANNS_H_

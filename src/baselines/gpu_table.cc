@@ -1,0 +1,132 @@
+#include "baselines/gpu_table.h"
+
+#include <algorithm>
+
+#include "gpu/primitives.h"
+
+namespace gts {
+
+GpuTable::~GpuTable() {
+  if (context_.device != nullptr && resident_bytes_ > 0) {
+    context_.device->Free(resident_bytes_);
+  }
+}
+
+Status GpuTable::Build(const Dataset* data, const DistanceMetric* metric) {
+  if (!metric->SupportsKind(data->kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+  if (resident_bytes_ > 0) {
+    context_.device->Free(resident_bytes_);
+    resident_bytes_ = 0;
+  }
+  const uint64_t bytes = data->TotalBytes();
+  GTS_RETURN_IF_ERROR(context_.device->Allocate(bytes, "GPU-Table data"));
+  resident_bytes_ = bytes;
+  // Host-to-device transfer is the only "construction" cost.
+  context_.device->clock().ChargeRawNs(static_cast<double>(bytes) *
+                                       gpu::kPcieNsPerByte);
+  data_ = data;
+  metric_ = metric;
+  tombstone_.assign(data->size(), 0);
+  return Status::Ok();
+}
+
+uint32_t GpuTable::GroupSize() const {
+  const uint64_t mem = context_.device->memory_bytes();
+  const uint64_t used = context_.device->allocated_bytes();
+  const uint64_t avail = mem > used ? mem - used : 0;
+  const uint64_t row_bytes = uint64_t{data_->size()} * sizeof(float);
+  return static_cast<uint32_t>(
+      std::max<uint64_t>(1, avail / 2 / std::max<uint64_t>(row_bytes, 1)));
+}
+
+Result<RangeResults> GpuTable::RangeBatch(const Dataset& queries,
+                                          std::span<const float> radii) {
+  RangeResults out(queries.size());
+  const uint32_t n = data_->size();
+  if (n == 0) return out;
+  const uint32_t group = GroupSize();
+  for (uint32_t begin = 0; begin < queries.size(); begin += group) {
+    const uint32_t end = std::min<uint32_t>(begin + group, queries.size());
+    auto dists_r = gpu::DeviceBuffer<float>::Create(
+        context_.device, uint64_t{end - begin} * n, "GPU-Table distances");
+    if (!dists_r.ok()) return dists_r.status();
+    auto& dists = dists_r.value();
+    {
+      gpu::KernelDistanceScope scope(context_.device, metric_,
+                                     uint64_t{end - begin} * n);
+      for (uint32_t q = begin; q < end; ++q) {
+        for (uint32_t id = 0; id < n; ++id) {
+          dists[uint64_t{q - begin} * n + id] =
+              metric_->Distance(queries, q, *data_, id);
+        }
+      }
+    }
+    // Filter kernel.
+    for (uint32_t q = begin; q < end; ++q) {
+      for (uint32_t id = 0; id < n; ++id) {
+        if (tombstone_[id]) continue;
+        if (dists[uint64_t{q - begin} * n + id] <= radii[q]) {
+          out[q].push_back(id);
+        }
+      }
+    }
+    context_.device->clock().ChargeKernel(uint64_t{end - begin} * n,
+                                          uint64_t{end - begin} * n);
+  }
+  return out;
+}
+
+Result<KnnResults> GpuTable::KnnBatch(const Dataset& queries, uint32_t k) {
+  KnnResults out(queries.size());
+  const uint32_t n = data_->size();
+  if (n == 0 || k == 0) return out;
+  const uint32_t group = GroupSize();
+  for (uint32_t begin = 0; begin < queries.size(); begin += group) {
+    const uint32_t end = std::min<uint32_t>(begin + group, queries.size());
+    auto dists_r = gpu::DeviceBuffer<float>::Create(
+        context_.device, uint64_t{end - begin} * n, "GPU-Table distances");
+    if (!dists_r.ok()) return dists_r.status();
+    auto& dists = dists_r.value();
+    {
+      gpu::KernelDistanceScope scope(context_.device, metric_,
+                                     uint64_t{end - begin} * n);
+      for (uint32_t q = begin; q < end; ++q) {
+        for (uint32_t id = 0; id < n; ++id) {
+          const uint64_t slot = uint64_t{q - begin} * n + id;
+          dists[slot] = tombstone_[id]
+                            ? std::numeric_limits<float>::infinity()
+                            : metric_->Distance(queries, q, *data_, id);
+        }
+      }
+    }
+    // Dr.Top-k-style delegate selection per query row.
+    for (uint32_t q = begin; q < end; ++q) {
+      const std::span<const float> row(dists.data() + uint64_t{q - begin} * n,
+                                       n);
+      for (const uint32_t id : gpu::SelectKSmallest(context_.device, row, k)) {
+        out[q].push_back(Neighbor{id, row[id]});
+      }
+    }
+  }
+  return out;
+}
+
+Status GpuTable::StreamRemoveInsert(uint32_t id) {
+  // The table has no structure: a removal and a re-insertion are O(1)
+  // slot updates.
+  if (id < tombstone_.size()) {
+    tombstone_[id] = 1;
+    tombstone_[id] = 0;
+  }
+  context_.device->clock().ChargeKernel(1, 2);
+  return Status::Ok();
+}
+
+Status GpuTable::BatchRemoveInsert(std::span<const uint32_t> ids) {
+  context_.device->clock().ChargeKernel(ids.size(), ids.size() * 2);
+  return Status::Ok();
+}
+
+}  // namespace gts

@@ -1,0 +1,40 @@
+// GPU-Table — the paper's table-based GPU baseline: a brute-force distance
+// table between every query and every object, filtered on device (MRQ), with
+// Dr.Top-k-style delegate selection for MkNNQ [23]. No index structure and
+// hence no construction cost (Table 4), but every query pays n distance
+// computations.
+#ifndef GTS_BASELINES_GPU_TABLE_H_
+#define GTS_BASELINES_GPU_TABLE_H_
+
+#include "baselines/baseline.h"
+
+namespace gts {
+
+class GpuTable final : public SimilarityIndex {
+ public:
+  explicit GpuTable(MethodContext context) : SimilarityIndex(context) {}
+  ~GpuTable() override;
+
+  std::string_view Name() const override { return "GPU-Table"; }
+  bool IsGpuMethod() const override { return true; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override { return 0; }
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+
+ private:
+  /// Queries per device pass such that the distance table fits.
+  uint32_t GroupSize() const;
+
+  uint64_t resident_bytes_ = 0;
+  std::vector<uint8_t> tombstone_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_GPU_TABLE_H_

@@ -1,0 +1,69 @@
+#include "baselines/gts_method.h"
+
+#include <numeric>
+
+namespace gts {
+
+Status GtsMethod::Build(const Dataset* data, const DistanceMetric* metric) {
+  data_ = data;
+  metric_ = metric;
+  GtsOptions options = gts_options_;
+  if (options.node_capacity == 0) {
+    options.node_capacity = context_.gts_node_capacity;
+  }
+  options.seed = context_.seed;
+  index_.reset();  // release the previous device reservation first
+  std::vector<uint32_t> all(data->size());
+  std::iota(all.begin(), all.end(), 0u);
+  auto built = GtsIndex::Build(data->Slice(all), metric, context_.device,
+                               options);
+  if (!built.ok()) return built.status();
+  index_ = std::move(built).value();
+  // Host-to-device transfer of the dataset.
+  context_.device->clock().ChargeRawNs(
+      static_cast<double>(data->TotalBytes()) * gpu::kPcieNsPerByte);
+  remap_.resize(data->size());
+  std::iota(remap_.begin(), remap_.end(), 0u);
+  return Status::Ok();
+}
+
+Result<RangeResults> GtsMethod::RangeBatch(const Dataset& queries,
+                                           std::span<const float> radii) {
+  if (index_ == nullptr) return Status::Internal("GTS not built");
+  return index_->RangeQueryBatch(queries, radii);
+}
+
+Result<KnnResults> GtsMethod::KnnBatch(const Dataset& queries, uint32_t k) {
+  if (index_ == nullptr) return Status::Internal("GTS not built");
+  return index_->KnnQueryBatch(queries, k);
+}
+
+uint64_t GtsMethod::IndexBytes() const {
+  return index_ == nullptr ? 0 : index_->IndexBytes();
+}
+
+Status GtsMethod::StreamRemoveInsert(uint32_t id) {
+  if (index_ == nullptr) return Status::Internal("GTS not built");
+  const uint32_t cur = remap_[id];
+  GTS_RETURN_IF_ERROR(index_->Remove(cur));
+  auto inserted = index_->Insert(index_->data(), cur);
+  if (!inserted.ok()) return inserted.status();
+  remap_[id] = inserted.value();
+  return Status::Ok();
+}
+
+Status GtsMethod::BatchRemoveInsert(std::span<const uint32_t> ids) {
+  if (index_ == nullptr) return Status::Internal("GTS not built");
+  std::vector<uint32_t> removals;
+  removals.reserve(ids.size());
+  for (const uint32_t id : ids) removals.push_back(remap_[id]);
+  Dataset inserts = index_->data().Slice(removals);
+  const uint32_t before = index_->size();
+  GTS_RETURN_IF_ERROR(index_->BatchUpdate(inserts, removals));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    remap_[ids[i]] = before + static_cast<uint32_t>(i);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gts

@@ -1,0 +1,46 @@
+// Adapter exposing GtsIndex through the common SimilarityIndex interface so
+// the benchmark harness drives GTS exactly like every baseline.
+#ifndef GTS_BASELINES_GTS_METHOD_H_
+#define GTS_BASELINES_GTS_METHOD_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/gts.h"
+
+namespace gts {
+
+class GtsMethod final : public SimilarityIndex {
+ public:
+  explicit GtsMethod(MethodContext context) : SimilarityIndex(context) {
+    gts_options_.node_capacity = 0;  // 0 = inherit context.gts_node_capacity
+  }
+
+  /// Options applied at the next Build (node capacity sweeps, cache budget).
+  void set_gts_options(const GtsOptions& options) { gts_options_ = options; }
+  const GtsOptions& gts_options() const { return gts_options_; }
+  GtsIndex* index() { return index_.get(); }
+
+  std::string_view Name() const override { return "GTS"; }
+  bool IsGpuMethod() const override { return true; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+
+ private:
+  GtsOptions gts_options_;
+  std::unique_ptr<GtsIndex> index_;
+  /// external id -> current id (streaming reinserts mint fresh ids).
+  std::vector<uint32_t> remap_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_GTS_METHOD_H_

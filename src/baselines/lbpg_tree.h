@@ -1,0 +1,68 @@
+// LBPG-Tree — the paper's special-purpose GPU baseline [36]: an R-tree on
+// the device, bulk-loaded STR-style, batch-queried level-synchronously.
+// Applies only to coordinate (Lp-norm) data — T-Loc and Color — and, per the
+// paper, succumbs to the dimension curse on Color: MBRs over 282 dims are
+// nearly space-filling, so frontiers barely shrink and the un-grouped
+// frontier allocations run out of device memory at high cardinality
+// (Fig. 11).
+#ifndef GTS_BASELINES_LBPG_TREE_H_
+#define GTS_BASELINES_LBPG_TREE_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/topk.h"
+
+namespace gts {
+
+class LbpgTree final : public SimilarityIndex {
+ public:
+  explicit LbpgTree(MethodContext context) : SimilarityIndex(context) {}
+  ~LbpgTree() override;
+
+  std::string_view Name() const override { return "LBPG-Tree"; }
+  bool IsGpuMethod() const override { return true; }
+
+  bool Supports(const Dataset& data,
+                const DistanceMetric& metric) const override {
+    return data.kind() == DataKind::kFloatVector &&
+           (metric.kind() == MetricKind::kL1 ||
+            metric.kind() == MetricKind::kL2);
+  }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+ private:
+  static constexpr uint32_t kLeafSize = 16;
+  static constexpr uint32_t kFanout = 16;
+
+  struct Node {
+    std::vector<float> lo, hi;       // MBR (dim floats each)
+    std::vector<int32_t> children;   // empty on leaves
+    std::vector<uint32_t> bucket;    // leaf payload
+  };
+
+  struct FrontierEntry {
+    int32_t node;
+    uint32_t query;
+    float mindist;
+    float pad = 0.0f;  // 16-byte device entries (sort-pair layout)
+  };
+
+  float MinDist(const Dataset& queries, uint32_t q, const Node& node) const;
+  void ComputeMbr(Node* node) const;
+  /// Greedy single-path descent to seed the kNN bound.
+  void SeedKnnBound(const Dataset& queries, uint32_t q, TopK* topk) const;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_LBPG_TREE_H_

@@ -1,0 +1,66 @@
+// MVPT — multi-vantage-point tree (Bozkaya & Özsoyoglu 1997/1999), the most
+// efficient CPU in-memory metric index per the survey [17] and the paper's
+// strongest CPU baseline. Internal nodes partition by distance rings around
+// a vantage point; leaves keep each object's distances to the last
+// kPathLen ancestor vantage points for pre-verification filtering.
+#ifndef GTS_BASELINES_MVPT_H_
+#define GTS_BASELINES_MVPT_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/topk.h"
+#include "common/rng.h"
+
+namespace gts {
+
+class Mvpt final : public SimilarityIndex {
+ public:
+  explicit Mvpt(MethodContext context) : SimilarityIndex(context) {}
+
+  std::string_view Name() const override { return "MVPT"; }
+  bool IsGpuMethod() const override { return false; }
+
+  Status Build(const Dataset* data, const DistanceMetric* metric) override;
+  Result<RangeResults> RangeBatch(const Dataset& queries,
+                                  std::span<const float> radii) override;
+  Result<KnnResults> KnnBatch(const Dataset& queries, uint32_t k) override;
+  uint64_t IndexBytes() const override;
+
+  Status StreamRemoveInsert(uint32_t id) override;
+  Status BatchRemoveInsert(std::span<const uint32_t> ids) override;
+
+ private:
+  static constexpr uint32_t kFanout = 4;
+  static constexpr uint32_t kLeafSize = 16;
+  static constexpr uint32_t kPathLen = 4;
+
+  struct Node {
+    uint32_t vp = kInvalidId;
+    std::vector<float> ring_lo, ring_hi;  // per-child distance ring
+    std::vector<int32_t> children;
+    // Leaf payload: objects plus their distances to the last `path_len`
+    // ancestor vantage points (row-major bucket.size() x path_len).
+    std::vector<uint32_t> bucket;
+    std::vector<float> path_dists;
+    uint32_t path_len = 0;
+    bool leaf = false;
+  };
+
+  // `cols[i]` holds the distances of ids[i] to the last <=kPathLen ancestor
+  // vantage points (most recent last).
+  int32_t BuildNode(std::vector<uint32_t> ids,
+                    std::vector<std::vector<float>> cols, Rng* rng);
+  void RangeRec(int32_t node, const Dataset& queries, uint32_t q, float r,
+                std::vector<float>* qpath, std::vector<uint32_t>* out) const;
+  void KnnRec(int32_t node, const Dataset& queries, uint32_t q,
+              std::vector<float>* qpath, TopK* topk) const;
+  void DescendTouch(uint32_t id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<uint8_t> tombstone_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_MVPT_H_

@@ -1,0 +1,41 @@
+// Small running top-k accumulator shared by the baseline kNN searches.
+#ifndef GTS_BASELINES_TOPK_H_
+#define GTS_BASELINES_TOPK_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/gts.h"
+
+namespace gts {
+
+struct TopK {
+  explicit TopK(uint32_t k_in) : k(k_in) {}
+
+  float Bound() const {
+    return items.size() < k ? std::numeric_limits<float>::infinity()
+                            : items.back().dist;
+  }
+
+  void Offer(uint32_t id, float dist) {
+    if (items.size() == k && dist >= items.back().dist) return;
+    // Deduplicate by id: tree methods may see an object both as a routing
+    // center and as a leaf member.
+    for (const Neighbor& nb : items) {
+      if (nb.id == id) return;
+    }
+    const auto it = std::lower_bound(
+        items.begin(), items.end(), dist,
+        [](const Neighbor& nb, float d) { return nb.dist < d; });
+    items.insert(it, Neighbor{id, dist});
+    if (items.size() > k) items.pop_back();
+  }
+
+  uint32_t k;
+  std::vector<Neighbor> items;  // ascending by dist
+};
+
+}  // namespace gts
+
+#endif  // GTS_BASELINES_TOPK_H_

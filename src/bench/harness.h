@@ -1,0 +1,81 @@
+// Shared benchmark harness: per-dataset environments with scaled memory
+// budgets, measurement helpers reading the simulated clocks, and row
+// printers producing the paper's tables/series.
+//
+// Budgets (DESIGN.md §2): every experiment models the paper's testbed — an
+// 11 GB RTX 2080 Ti and 128 GB host — scaled by the ratio between our
+// synthetic cardinality and the paper's dataset cardinality, so the OOM /
+// memory-deadlock episodes of Table 4 and Figs. 9/11 reproduce at scale.
+// Set GTS_BENCH_SCALE (e.g. 2.0) to grow workloads and budgets together.
+#ifndef GTS_BENCH_HARNESS_H_
+#define GTS_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "gpu/device.h"
+
+namespace gts::bench {
+
+/// One dataset's experiment environment.
+struct BenchEnv {
+  DatasetId id = DatasetId::kWords;
+  const DatasetSpec* spec = nullptr;
+  Dataset data = Dataset::Strings();
+  std::unique_ptr<DistanceMetric> metric;
+  std::unique_ptr<gpu::Device> device;
+  uint64_t host_budget = 0;
+
+  MethodContext Context() const {
+    return MethodContext{device.get(), host_budget, /*seed=*/42};
+  }
+};
+
+/// GTS_BENCH_SCALE (default 1.0).
+double EnvScale();
+
+uint64_t DeviceBudgetBytes(const DatasetSpec& spec, double scale);
+uint64_t HostBudgetBytes(const DatasetSpec& spec, double scale);
+
+/// Builds the environment for a dataset; `n_override` (if nonzero) replaces
+/// the scaled default cardinality (budgets stay at the default scale, as on
+/// a fixed card — used by the Fig. 11 cardinality sweep).
+BenchEnv MakeEnv(DatasetId id, uint32_t n_override = 0);
+
+/// Simulated radius for a paper radius step (r = step ×0.01% selectivity).
+float RadiusForStep(const BenchEnv& env, int step);
+
+struct Measurement {
+  Status status = Status::Ok();
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+Measurement MeasureBuild(SimilarityIndex* method, const BenchEnv& env);
+Measurement MeasureRange(SimilarityIndex* method, const Dataset& queries,
+                         std::span<const float> radii);
+Measurement MeasureKnn(SimilarityIndex* method, const Dataset& queries,
+                       uint32_t k);
+
+/// queries/min from a batch's simulated seconds.
+double ThroughputPerMin(uint32_t batch, double sim_seconds);
+
+/// "x.xxe+yy" or the paper's failure markers: "/" (unsupported / OOM at
+/// build), "DEADLOCK", "OOM".
+std::string FormatThroughput(double v);
+std::string FormatFailure(const Status& status);
+
+/// The evaluation's method list in the paper's legend order.
+const std::vector<MethodId>& AllMethods();
+/// Methods shown in the update experiments (Fig. 5 legend).
+const std::vector<MethodId>& UpdateMethods();
+
+void PrintRule(char c = '-', int width = 96);
+
+}  // namespace gts::bench
+
+#endif  // GTS_BENCH_HARNESS_H_

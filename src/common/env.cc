@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace gts {
+
+int64_t GetEnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  return std::string(v);
+}
+
+}  // namespace gts

@@ -1,0 +1,22 @@
+// Environment-variable configuration helpers used by the benchmark harness
+// (e.g. GTS_BENCH_SCALE to grow/shrink workloads).
+#ifndef GTS_COMMON_ENV_H_
+#define GTS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gts {
+
+/// Reads an integer env var, returning `def` when unset or malformed.
+int64_t GetEnvInt64(const char* name, int64_t def);
+
+/// Reads a double env var, returning `def` when unset or malformed.
+double GetEnvDouble(const char* name, double def);
+
+/// Reads a string env var, returning `def` when unset.
+std::string GetEnvString(const char* name, const std::string& def);
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_ENV_H_

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (SplitMix64 seeding +
+// xoshiro256** core). Every stochastic component of the library draws from
+// these generators so all builds, datasets and experiments are reproducible.
+#ifndef GTS_COMMON_RNG_H_
+#define GTS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace gts {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator. Deterministic, fast, good statistical quality.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  double NormalDouble();
+
+  /// Fork a child generator with an independent stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#include "common/status.h"
+
+namespace gts {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kMemoryLimit: return "MemoryLimit";
+    case StatusCode::kDeadlock: return "Deadlock";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace gts

@@ -1,0 +1,102 @@
+// Status / Result error-handling primitives (exception-free, RocksDB-style).
+#ifndef GTS_COMMON_STATUS_H_
+#define GTS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gts {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kMemoryLimit,   ///< device / host memory budget exceeded (paper: OOM)
+  kDeadlock,      ///< fixed-buffer overflow in a GPU method (paper: memory deadlock)
+  kUnsupported,   ///< method does not support this metric / data kind
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. All fallible public APIs return
+/// Status (or Result<T>) instead of throwing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status MemoryLimit(std::string m) {
+    return Status(StatusCode::kMemoryLimit, std::move(m));
+  }
+  static Status Deadlock(std::string m) {
+    return Status(StatusCode::kDeadlock, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(var_);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+#define GTS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::gts::Status gts_status_tmp_ = (expr);         \
+    if (!gts_status_tmp_.ok()) return gts_status_tmp_; \
+  } while (0)
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+// Wall-clock timer for the benchmark harness (real elapsed time, as opposed
+// to the simulated device clock in gpu/sim_clock.h).
+#ifndef GTS_COMMON_TIMER_H_
+#define GTS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gts {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_TIMER_H_

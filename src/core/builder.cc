@@ -1,0 +1,176 @@
+// Level-synchronous index construction (paper Algorithms 1-3).
+//
+// Per level: FFT pivot selection inside every node (Algorithm 2), then one
+// *global* encode-sort-partition pass (Algorithm 3) that splits all nodes of
+// the level at once — the key idea that turns tree construction into flat,
+// device-wide kernels.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/gts.h"
+#include "gpu/primitives.h"
+
+namespace gts {
+
+namespace {
+
+struct FftPick {
+  uint32_t pivot = kInvalidId;
+  uint64_t extra_distance_items = 0;  // distances beyond the cached column
+};
+
+}  // namespace
+
+Status GtsIndex::BuildTreeOver(std::vector<uint32_t> ids) {
+  const uint32_t nc = options_.node_capacity;
+  const uint64_t n = ids.size();
+
+  height_ = TreeHeight(n, nc);
+  const uint64_t total = TotalNodes(height_, nc);
+  node_list_.assign(total + 1, GtsNode{});
+  tl_object_ = std::move(ids);
+  tl_dis_.assign(n, 0.0f);
+  indexed_count_ = static_cast<uint32_t>(n);
+  tombstones_in_tree_ = 0;
+
+  GtsNode& root = node_list_[1];
+  root.pos = 0;
+  root.size = static_cast<uint32_t>(n);
+
+  // Table-list initialization kernel (Algorithm 1 lines 4-5).
+  device_->clock().ChargeKernel(n, n);
+
+  Rng rng(options_.seed + 0x9e3779b9ull * rebuild_count_);
+  for (uint32_t layer = 1; layer + 1 <= height_; ++layer) {
+    MapLevel(layer, &rng);
+    GTS_RETURN_IF_ERROR(PartitionLevel(layer));
+  }
+  return Status::Ok();
+}
+
+// FFT pivot selection (paper §4.3): the pivot of a node is the object
+// farthest from the existing (ancestor) pivots; the root's pivot is random,
+// following FFT/BPS/HF practice validated in [62]. The distance column to
+// the parent's pivot is already resident in the table list, so only deeper
+// ancestors cost extra distance computations.
+uint32_t GtsIndex::SelectPivotFft(uint64_t node_id, Rng* rng) {
+  const uint32_t nc = options_.node_capacity;
+  const GtsNode& node = node_list_[node_id];
+  assert(node.size > 0);
+
+  if (node_id == 1) {
+    return tl_object_[node.pos + rng->UniformU64(node.size)];
+  }
+
+  // Reference pivots: parent first, then deeper ancestors (capped).
+  std::vector<uint32_t> refs;
+  uint64_t ancestor = ParentNodeId(node_id, nc);
+  for (;;) {
+    refs.push_back(node_list_[ancestor].pivot);
+    if (ancestor == 1 || refs.size() >= options_.fft_ancestors) break;
+    ancestor = ParentNodeId(ancestor, nc);
+  }
+
+  uint32_t best = tl_object_[node.pos];
+  float best_score = -1.0f;
+  for (uint32_t j = 0; j < node.size; ++j) {
+    const uint32_t obj = tl_object_[node.pos + j];
+    // min distance to the reference set; tl_dis_ caches the parent column.
+    float score = tl_dis_[node.pos + j];
+    for (size_t rix = 1; rix < refs.size(); ++rix) {
+      score = std::min(score, metric_->Distance(data_, obj, refs[rix]));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = obj;
+    }
+  }
+  return best;
+}
+
+void GtsIndex::MapLevel(uint32_t layer, Rng* rng) {
+  const uint32_t nc = options_.node_capacity;
+  const uint64_t start = LevelStart(layer, nc);
+  const uint64_t count = LevelCount(layer, nc);
+
+  // --- Pivot selection (one kernel: a block per node, threads per object).
+  const uint64_t fft_ops_before = metric_->stats().ops;
+  uint64_t fft_items = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    GtsNode& node = node_list_[start + i];
+    if (node.size == 0) continue;
+    node.pivot = SelectPivotFft(start + i, rng);
+    if (layer > 1 && options_.fft_ancestors > 1) {
+      fft_items += node.size;  // extra-ancestor distances per object
+    }
+  }
+  if (fft_items > 0) {
+    device_->clock().ChargeKernel(fft_items,
+                                  metric_->stats().ops - fft_ops_before);
+  }
+  device_->clock().ChargeScan(indexed_count_);  // per-node argmax reduction
+
+  // --- Distance fill (Algorithm 2 lines 6-7): d(object, node pivot).
+  gpu::KernelDistanceScope scope(device_, metric_, indexed_count_);
+  for (uint64_t i = 0; i < count; ++i) {
+    const GtsNode& node = node_list_[start + i];
+    for (uint32_t j = 0; j < node.size; ++j) {
+      const uint32_t obj = tl_object_[node.pos + j];
+      tl_dis_[node.pos + j] =
+          obj == node.pivot ? 0.0f : metric_->Distance(data_, obj, node.pivot);
+    }
+  }
+}
+
+Status GtsIndex::PartitionLevel(uint32_t layer) {
+  const uint32_t nc = options_.node_capacity;
+  const uint64_t start = LevelStart(layer, nc);
+  const uint64_t count = LevelCount(layer, nc);
+  const uint64_t n = indexed_count_;
+
+  // Normalization bound (Algorithm 3 lines 1-2).
+  const float maxd = gpu::ReduceMax(device_, tl_dis_);
+
+  // Encoding kernel (lines 3-6): integer part = node rank in the level,
+  // fractional part = normalized distance to the node's pivot.
+  auto keys_r = gpu::DeviceBuffer<double>::Create(device_, n, "encode keys");
+  if (!keys_r.ok()) return keys_r.status();
+  auto& keys = keys_r.value();
+  for (uint64_t i = 0; i < count; ++i) {
+    const GtsNode& node = node_list_[start + i];
+    for (uint32_t j = 0; j < node.size; ++j) {
+      keys[node.pos + j] = static_cast<double>(i) +
+                           static_cast<double>(tl_dis_[node.pos + j]) /
+                               (static_cast<double>(maxd) + 1.0);
+    }
+  }
+  device_->clock().ChargeKernel(n, 2 * n);
+
+  // Global concurrent sort (line 7) carrying the table list.
+  gpu::SortTableByKey(device_, std::span<double>(keys.data(), n), tl_object_,
+                      tl_dis_);
+
+  // Child construction (lines 8-18): objects are split evenly; the last
+  // child absorbs the remainder. Note: the paper's line 15 advances child
+  // positions by Nc — a typo; positions must advance by the child size.
+  for (uint64_t i = 0; i < count; ++i) {
+    const GtsNode& node = node_list_[start + i];
+    const uint32_t avg = node.size / nc;
+    for (uint32_t j = 0; j < nc; ++j) {
+      GtsNode& child = node_list_[ChildNodeId(start + i, j, nc)];
+      child.pos = node.pos + j * avg;
+      child.size = (j + 1 < nc) ? avg : node.size - avg * (nc - 1);
+      child.pivot = kInvalidId;
+      if (child.size > 0) {
+        child.min_dis = tl_dis_[child.pos];
+        child.max_dis = tl_dis_[child.pos + child.size - 1];
+      }
+    }
+  }
+  device_->clock().ChargeKernel(count * nc, 4 * count * nc);
+  return Status::Ok();
+}
+
+}  // namespace gts

@@ -1,0 +1,33 @@
+#include "core/cache_list.h"
+
+#include <algorithm>
+
+namespace gts {
+
+void CacheList::Add(uint32_t id, uint64_t bytes) {
+  ids_.push_back(id);
+  sizes_.push_back(bytes);
+  bytes_ += bytes;
+}
+
+bool CacheList::Erase(uint32_t id) {
+  const auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) return false;
+  const size_t pos = static_cast<size_t>(it - ids_.begin());
+  bytes_ -= sizes_[pos];
+  ids_.erase(it);
+  sizes_.erase(sizes_.begin() + pos);
+  return true;
+}
+
+bool CacheList::Contains(uint32_t id) const {
+  return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+}
+
+void CacheList::Clear() {
+  ids_.clear();
+  sizes_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace gts

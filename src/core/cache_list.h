@@ -1,0 +1,41 @@
+// The streaming-update cache table (paper §4.4). Newly inserted objects are
+// buffered here (LSM-style, avoiding structural changes to the GPU-resident
+// tree) and answered by a brute-force parallel scan at query time; when the
+// cache outgrows its byte budget the whole index is rebuilt and the cache
+// cleared.
+#ifndef GTS_CORE_CACHE_LIST_H_
+#define GTS_CORE_CACHE_LIST_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gts {
+
+class CacheList {
+ public:
+  /// Registers an inserted object (by id) occupying `bytes`.
+  void Add(uint32_t id, uint64_t bytes);
+
+  /// Removes `id` if buffered here. Returns true when found (the caller
+  /// then skips tombstoning the tree).
+  bool Erase(uint32_t id);
+
+  bool Contains(uint32_t id) const;
+
+  void Clear();
+
+  uint32_t size() const { return static_cast<uint32_t>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+  uint64_t bytes() const { return bytes_; }
+  std::span<const uint32_t> ids() const { return ids_; }
+
+ private:
+  std::vector<uint32_t> ids_;
+  std::vector<uint64_t> sizes_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_CACHE_LIST_H_

@@ -1,0 +1,111 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/node.h"
+
+namespace gts {
+
+namespace {
+// Chebyshev is vacuous when r <= sqrt(2)·σ; keep a small floor so deeper
+// trees still model *some* extra pruning per level.
+constexpr double kMinKeepProbability = 0.05;
+
+double CeilDiv(double a, double b) { return std::ceil(a / b); }
+}  // namespace
+
+double NotPrunedProbability(double sigma, double radius) {
+  if (radius <= 0.0) return kMinKeepProbability;
+  const double p = 1.0 - 2.0 * sigma * sigma / (radius * radius);
+  return std::clamp(p, kMinKeepProbability, 1.0);
+}
+
+double EstimateRangeQueryNs(const CostModelParams& params, uint32_t nc) {
+  const double n = static_cast<double>(std::max<uint64_t>(params.n, 1));
+  const uint32_t height = TreeHeight(params.n, nc);
+  const double lanes = static_cast<double>(params.lanes);
+  const double p = NotPrunedProbability(params.sigma, params.radius);
+  const double batch = std::max<uint32_t>(params.batch, 1);
+
+  // Whole-batch cost; divided by the batch size at the end (per-kernel
+  // fixed costs amortize across the level-synchronous batch).
+  double total_ns = 0.0;
+  // Internal levels 1 .. height-1: one pivot distance per surviving entry,
+  // the device sort locating partitions/bounds, and the child-pruning pass.
+  double entries = 1.0;  // frontier entries per query at the current level
+  for (uint32_t layer = 1; layer + 1 <= height; ++layer) {
+    const double level_nodes =
+        std::min(static_cast<double>(LevelCount(layer, nc)), n);
+    entries = std::min(entries, level_nodes);
+    // Pivot-distance kernel.
+    total_ns += CeilDiv(entries * batch, lanes) * params.dist_ops *
+                    params.ns_per_op +
+                params.launch_overhead_ns;
+    // Sort / pruning pass over entries*nc candidates (paper: ceil(S_i/C)·logS).
+    const double expansion = entries * nc;
+    total_ns += CeilDiv(expansion * batch, lanes) *
+                    std::log2(std::max(2.0, expansion * batch)) * 4.0 *
+                    params.ns_per_op +
+                params.launch_overhead_ns;
+    // Each level's pivot filter keeps fraction p of the children.
+    entries = std::max(1.0, expansion * p);
+  }
+  // Leaf verification: surviving objects get one exact distance each. After
+  // (height-1) pivot filters a fraction p^(height-1) of n survives.
+  const double survivors =
+      std::max(1.0, n * std::pow(p, static_cast<double>(height - 1)));
+  total_ns += CeilDiv(survivors * batch, lanes) * params.dist_ops *
+                  params.ns_per_op +
+              params.launch_overhead_ns;
+  return total_ns / batch;
+}
+
+uint32_t SuggestNodeCapacity(const CostModelParams& params,
+                             std::span<const uint32_t> candidates) {
+  uint32_t best = candidates.empty() ? 20 : candidates[0];
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (const uint32_t nc : candidates) {
+    if (nc < 2) continue;
+    const double ns = EstimateRangeQueryNs(params, nc);
+    if (ns < best_ns) {
+      best_ns = ns;
+      best = nc;
+    }
+  }
+  return best;
+}
+
+double EstimateSigma(const Dataset& data, const DistanceMetric& metric,
+                     uint32_t samples, uint64_t seed) {
+  if (data.size() < 2) return 0.0;
+  Rng rng(seed);
+  const uint32_t pivot = static_cast<uint32_t>(rng.UniformU64(data.size()));
+  const uint32_t count = std::min<uint32_t>(samples, data.size());
+  double sum = 0.0, sum_sq = 0.0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t obj = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    const double d = metric.Distance(data, obj, pivot);
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double mean = sum / count;
+  const double var = std::max(0.0, sum_sq / count - mean * mean);
+  return std::sqrt(var);
+}
+
+double EstimateDistanceOps(const Dataset& data, const DistanceMetric& metric,
+                           uint32_t samples, uint64_t seed) {
+  if (data.size() < 2) return 1.0;
+  Rng rng(seed);
+  const uint32_t count = std::min<uint32_t>(samples, data.size());
+  const uint64_t before = metric.stats().ops;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    metric.Distance(data, a, b);
+  }
+  return static_cast<double>(metric.stats().ops - before) / count;
+}
+
+}  // namespace gts

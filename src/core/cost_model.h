@@ -1,0 +1,58 @@
+// Section-5.3 cost model: estimates the per-query cost of the
+// level-synchronous search as a function of the node capacity Nc, and
+// suggests the Nc that balances pruning capability against parallelism.
+//
+// The paper's estimate: with C concurrent lanes and per-level intermediate
+// result sizes S_i, a query costs O( Σ_i ceil(S_i/C) · log2 S_i ); Chebyshev
+// bounds the not-pruned probability per pivot filter at p ≥ 1 - 2σ²/r²,
+// giving S_i ≈ n_i · p^i.
+#ifndef GTS_CORE_COST_MODEL_H_
+#define GTS_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "metric/dataset.h"
+#include "metric/distance.h"
+
+namespace gts {
+
+struct CostModelParams {
+  uint64_t n = 0;          ///< dataset cardinality
+  uint32_t lanes = 4096;   ///< GPU concurrent computing power C
+  double sigma = 1.0;      ///< std-dev of the pivot-distance distribution
+  double radius = 1.0;     ///< query radius r (or expected kNN radius)
+  double dist_ops = 1.0;   ///< elementary ops per distance computation
+  double ns_per_op = 1.2;
+  double launch_overhead_ns = 3000.0;
+  /// Concurrent queries sharing each level's kernels: fixed per-kernel
+  /// costs amortize across the batch (level-synchronous batching is the
+  /// paper's whole point — a per-query model overweights level count).
+  uint32_t batch = 1;
+};
+
+/// Estimated simulated nanoseconds for one metric range query under node
+/// capacity `nc`.
+double EstimateRangeQueryNs(const CostModelParams& params, uint32_t nc);
+
+/// Probability that one pivot filter fails to prune an object
+/// (Chebyshev lower bound, clamped to [kMinKeepProbability, 1]).
+double NotPrunedProbability(double sigma, double radius);
+
+/// Returns the candidate with the lowest estimated cost.
+uint32_t SuggestNodeCapacity(const CostModelParams& params,
+                             std::span<const uint32_t> candidates);
+
+/// Samples the pivot-distance standard deviation σ of a dataset: picks a
+/// random pivot and measures distances from `samples` random objects.
+double EstimateSigma(const Dataset& data, const DistanceMetric& metric,
+                     uint32_t samples, uint64_t seed);
+
+/// Average elementary ops per distance computation, sampled.
+double EstimateDistanceOps(const Dataset& data, const DistanceMetric& metric,
+                           uint32_t samples, uint64_t seed);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_COST_MODEL_H_

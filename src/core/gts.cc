@@ -1,0 +1,147 @@
+// GtsIndex lifecycle and update strategies (paper §4.4):
+// streaming updates through the cache table (O(1) insert/delete, rebuild on
+// overflow) and batch updates via full parallel reconstruction.
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/gts.h"
+
+namespace gts {
+
+GtsIndex::GtsIndex(Dataset data, const DistanceMetric* metric,
+                   gpu::Device* device, const GtsOptions& options)
+    : data_(std::move(data)),
+      metric_(metric),
+      device_(device),
+      options_(options) {}
+
+GtsIndex::~GtsIndex() {
+  if (device_ != nullptr && resident_bytes_ > 0) {
+    device_->Free(resident_bytes_);
+  }
+}
+
+Result<std::unique_ptr<GtsIndex>> GtsIndex::Build(Dataset data,
+                                                  const DistanceMetric* metric,
+                                                  gpu::Device* device,
+                                                  const GtsOptions& options) {
+  if (metric == nullptr || device == nullptr) {
+    return Status::InvalidArgument("metric and device are required");
+  }
+  if (!metric->SupportsKind(data.kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+  if (options.node_capacity < 2) {
+    return Status::InvalidArgument("node_capacity must be >= 2");
+  }
+  std::unique_ptr<GtsIndex> index(
+      new GtsIndex(std::move(data), metric, device, options));
+  index->alive_.assign(index->data_.size(), 1);
+  index->alive_count_ = index->data_.size();
+
+  std::vector<uint32_t> ids(index->data_.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  GTS_RETURN_IF_ERROR(index->BuildTreeOver(std::move(ids)));
+  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes());
+  return index;
+}
+
+uint64_t GtsIndex::IndexBytes() const {
+  return node_list_.size() * sizeof(GtsNode) +
+         tl_object_.size() * (sizeof(uint32_t) + sizeof(float)) +
+         cache_.size() * sizeof(uint32_t) + cache_.bytes();
+}
+
+Status GtsIndex::UpdateResidentBytes() {
+  // Device residency: the dataset payload (alive objects), the index
+  // structures, and the cache table.
+  uint64_t bytes = IndexBytes();
+  for (uint32_t id = 0; id < data_.size(); ++id) {
+    if (alive_[id]) bytes += data_.ObjectBytes(id);
+  }
+  if (bytes > resident_bytes_) {
+    GTS_RETURN_IF_ERROR(
+        device_->Allocate(bytes - resident_bytes_, "GTS resident"));
+  } else {
+    device_->Free(resident_bytes_ - bytes);
+  }
+  resident_bytes_ = bytes;
+  return Status::Ok();
+}
+
+Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
+  if (!src.CompatibleWith(data_)) {
+    return Status::InvalidArgument("inserted object incompatible with dataset");
+  }
+  const uint64_t obj_bytes = src.ObjectBytes(idx);
+  GTS_RETURN_IF_ERROR(device_->Allocate(obj_bytes, "GTS cache insert"));
+  resident_bytes_ += obj_bytes;
+
+  data_.AppendFrom(src, idx);
+  const uint32_t id = data_.size() - 1;
+  alive_.push_back(1);
+  ++alive_count_;
+  cache_.Add(id, obj_bytes);
+  device_->clock().ChargeKernel(1, 4);  // O(1) cache append
+
+  if (cache_.bytes() > options_.cache_capacity_bytes) {
+    GTS_RETURN_IF_ERROR(Rebuild());
+  }
+  return id;
+}
+
+Status GtsIndex::Remove(uint32_t id) {
+  if (id >= data_.size() || !alive_[id]) {
+    return Status::NotFound("object not present");
+  }
+  alive_[id] = 0;
+  --alive_count_;
+  device_->clock().ChargeKernel(1, 4);  // O(1) locate + mark
+
+  if (!cache_.Erase(id)) {
+    ++tombstones_in_tree_;
+    if (indexed_count_ > 0 &&
+        static_cast<double>(tombstones_in_tree_) > options_.max_tombstone_fraction *
+            static_cast<double>(indexed_count_)) {
+      GTS_RETURN_IF_ERROR(Rebuild());
+    }
+  }
+  return Status::Ok();
+}
+
+Status GtsIndex::BatchUpdate(const Dataset& inserts,
+                             std::span<const uint32_t> removals) {
+  if (inserts.size() > 0 && !inserts.CompatibleWith(data_)) {
+    return Status::InvalidArgument("inserted objects incompatible with dataset");
+  }
+  for (const uint32_t id : removals) {
+    if (id >= data_.size() || !alive_[id]) continue;
+    alive_[id] = 0;
+    --alive_count_;
+    cache_.Erase(id);
+  }
+  for (uint32_t i = 0; i < inserts.size(); ++i) {
+    data_.AppendFrom(inserts, i);
+    alive_.push_back(1);
+    ++alive_count_;
+  }
+  device_->clock().ChargeKernel(removals.size() + inserts.size(),
+                                (removals.size() + inserts.size()) * 2);
+  return Rebuild();
+}
+
+Status GtsIndex::Rebuild() {
+  std::vector<uint32_t> ids;
+  ids.reserve(alive_count_);
+  for (uint32_t id = 0; id < data_.size(); ++id) {
+    if (alive_[id]) ids.push_back(id);
+  }
+  ++rebuild_count_;
+  GTS_RETURN_IF_ERROR(BuildTreeOver(std::move(ids)));
+  cache_.Clear();
+  return UpdateResidentBytes();
+}
+
+}  // namespace gts

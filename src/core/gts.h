@@ -1,0 +1,238 @@
+// GtsIndex — the paper's primary contribution: a GPU-resident pivot-based
+// balanced tree stored as contiguous tables, with level-synchronous batched
+// similarity search, a memory-bounded two-stage query strategy, LSM-style
+// streaming updates through a cache table, and batch updates via full
+// parallel reconstruction.
+//
+// Typical use:
+//   auto device = std::make_unique<gpu::Device>();
+//   auto metric = MakeMetric(MetricKind::kL2);
+//   auto index  = GtsIndex::Build(std::move(data), metric.get(),
+//                                 device.get(), GtsOptions{});
+//   auto res    = index.value()->RangeQueryBatch(queries, radii);
+#ifndef GTS_CORE_GTS_H_
+#define GTS_CORE_GTS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/cache_list.h"
+#include "core/node.h"
+#include "gpu/device.h"
+#include "metric/dataset.h"
+#include "metric/distance.h"
+
+namespace gts {
+
+/// One kNN answer.
+struct Neighbor {
+  uint32_t id;
+  float dist;
+};
+
+/// Per-query result containers for batched queries.
+using RangeResults = std::vector<std::vector<uint32_t>>;
+using KnnResults = std::vector<std::vector<Neighbor>>;
+
+struct GtsOptions {
+  /// Node capacity Nc — the fan-out that trades pruning power for
+  /// parallelism (paper §5.3; default from the paper's Fig. 6 finding).
+  uint32_t node_capacity = 20;
+  /// Seed for the random first pivot (paper §4.3: FFT's initial pivot).
+  uint64_t seed = 42;
+  /// Streaming-update cache-table budget; overflowing it triggers a full
+  /// parallel rebuild (paper §4.4; Table 5 recommends ~5 KB).
+  uint64_t cache_capacity_bytes = 5 * 1024;
+  /// Rebuild when more than this fraction of indexed objects is tombstoned.
+  double max_tombstone_fraction = 0.5;
+  /// FFT pivot selection uses up to this many ancestor pivots as the
+  /// reference set (parent distances are already cached in the table list).
+  uint32_t fft_ancestors = 2;
+};
+
+/// Aggregate counters exposed for tests, benchmarks and the cost model.
+struct GtsQueryStats {
+  uint64_t distance_computations = 0;  ///< exact distances evaluated
+  uint64_t nodes_visited = 0;          ///< frontier entries expanded
+  uint64_t objects_verified = 0;       ///< leaf objects distance-checked
+  uint64_t query_groups = 0;           ///< two-stage groups processed
+};
+
+class GtsIndex {
+ public:
+  /// Builds the index over `data` (the index takes ownership — updates grow
+  /// the dataset in place). `metric` and `device` must outlive the index.
+  static Result<std::unique_ptr<GtsIndex>> Build(Dataset data,
+                                                 const DistanceMetric* metric,
+                                                 gpu::Device* device,
+                                                 const GtsOptions& options);
+
+  ~GtsIndex();
+  GtsIndex(const GtsIndex&) = delete;
+  GtsIndex& operator=(const GtsIndex&) = delete;
+
+  /// Batched metric range query (Algorithm 4). `radii[i]` is the radius of
+  /// query object `i` of `queries`. Exact.
+  Result<RangeResults> RangeQueryBatch(const Dataset& queries,
+                                       std::span<const float> radii);
+
+  /// Batched metric k-nearest-neighbour query (Algorithm 5). Exact.
+  Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k);
+
+  /// Approximate MkNNQ (the paper's §7 future-work direction): leaf
+  /// verification examines only the best `candidate_fraction` of each
+  /// query's surviving candidates (ascending annulus-gap order, never fewer
+  /// than 2k), trading recall for throughput. candidate_fraction = 1.0
+  /// degenerates to the exact query.
+  Result<KnnResults> KnnQueryBatchApprox(const Dataset& queries, uint32_t k,
+                                         double candidate_fraction);
+
+  /// Streaming insert: copies object `idx` of `src` into the cache table
+  /// (O(1)); rebuilds when the cache budget overflows. Returns the new id.
+  Result<uint32_t> Insert(const Dataset& src, uint32_t idx);
+
+  /// Streaming delete: removes from the cache when present, otherwise
+  /// tombstones the table-list entry (O(1)).
+  Status Remove(uint32_t id);
+
+  /// Batch update: applies all removals and inserts, then reconstructs the
+  /// index with the parallel builder (paper §4.4 "Batch Updates").
+  Status BatchUpdate(const Dataset& inserts, std::span<const uint32_t> removals);
+
+  /// Forces full reconstruction over the alive objects.
+  Status Rebuild();
+
+  /// Persists the complete index state (options, dataset, tree tables,
+  /// liveness, cache) to a binary file.
+  Status SaveTo(const std::string& path) const;
+
+  /// Restores an index saved with SaveTo. `metric` must match the saved
+  /// metric kind; the restored index takes a device-resident reservation
+  /// on `device`.
+  static Result<std::unique_ptr<GtsIndex>> Load(const std::string& path,
+                                                const DistanceMetric* metric,
+                                                gpu::Device* device);
+
+  // --- Introspection ----------------------------------------------------
+  uint32_t height() const { return height_; }
+  uint32_t node_capacity() const { return options_.node_capacity; }
+  uint64_t num_nodes() const { return node_list_.size() - 1; }
+  /// Total objects ever stored (including tombstoned ones).
+  uint32_t size() const { return data_.size(); }
+  uint32_t alive_size() const { return alive_count_; }
+  uint32_t cache_size() const { return cache_.size(); }
+  uint64_t rebuild_count() const { return rebuild_count_; }
+  bool IsAlive(uint32_t id) const { return alive_[id] != 0; }
+
+  /// Index storage footprint: node list + table list + cache table
+  /// (excluding the dataset payload).
+  uint64_t IndexBytes() const;
+  /// Device-resident bytes including the dataset payload.
+  uint64_t DeviceResidentBytes() const { return resident_bytes_; }
+
+  const Dataset& data() const { return data_; }
+  gpu::Device* device() const { return device_; }
+  const GtsNode& node(uint64_t id) const { return node_list_[id]; }
+  std::span<const uint32_t> table_objects() const { return tl_object_; }
+  std::span<const float> table_dis() const { return tl_dis_; }
+  const GtsQueryStats& query_stats() const { return query_stats_; }
+  void ResetQueryStats() { query_stats_ = GtsQueryStats{}; }
+
+ private:
+  GtsIndex(Dataset data, const DistanceMetric* metric, gpu::Device* device,
+           const GtsOptions& options);
+
+  /// A frontier element of the level-synchronous search: `node` (at the
+  /// current layer) must still be examined for `query`; `parent_dq` carries
+  /// d(query, parent(node).pivot), the value leaf verification filters with.
+  struct Entry {
+    uint32_t node;
+    uint32_t query;
+    float parent_dq;
+  };
+
+  /// Per-query running top-k state for MkNNQ (deduplicated by object id so
+  /// a pivot later re-seen in a leaf cannot shrink the bound twice).
+  struct KnnState {
+    std::vector<Neighbor> topk;  // ascending by dist, size <= k
+    uint32_t k = 0;
+    float Bound() const {
+      return topk.size() < k ? std::numeric_limits<float>::infinity()
+                             : topk.back().dist;
+    }
+    void Offer(uint32_t id, float dist);
+  };
+
+  // builder.cc ------------------------------------------------------------
+  /// (Re)constructs the tree over the given object ids (Algorithms 1-3).
+  Status BuildTreeOver(std::vector<uint32_t> ids);
+  void MapLevel(uint32_t layer, Rng* rng);        // Algorithm 2
+  Status PartitionLevel(uint32_t layer);          // Algorithm 3
+  uint32_t SelectPivotFft(uint64_t node_id, Rng* rng);
+
+  // search_range.cc ---------------------------------------------------
+  Status RangeLevel(std::span<const Entry> frontier, uint32_t layer,
+                    const Dataset& queries, std::span<const float> radii,
+                    RangeResults* out);
+  void VerifyRangeLeaves(std::span<const Entry> frontier,
+                         const Dataset& queries, std::span<const float> radii,
+                         RangeResults* out);
+  void SearchCacheRange(const Dataset& queries, std::span<const float> radii,
+                        RangeResults* out);
+
+  // search_knn.cc -------------------------------------------------------
+  Status KnnLevel(std::span<const Entry> frontier, uint32_t layer,
+                  const Dataset& queries, std::vector<KnnState>* states);
+  void VerifyKnnLeaves(std::span<const Entry> frontier, const Dataset& queries,
+                       std::vector<KnnState>* states);
+  void SearchCacheKnn(const Dataset& queries, std::vector<KnnState>* states);
+
+  /// Frontier-entry budget for `layer` (paper §5.1):
+  /// size_GPU / ((h - layer + 1) * Nc), expressed in entries.
+  uint64_t LevelEntryLimit(uint32_t layer) const;
+  /// Splits a frontier (sorted by query) into groups of whole queries whose
+  /// expansion fits the limit. Returns [begin, end) offsets.
+  std::vector<std::pair<size_t, size_t>> GroupFrontier(
+      std::span<const Entry> frontier, uint64_t limit_entries) const;
+
+  // gts.cc ----------------------------------------------------------------
+  Status UpdateResidentBytes();
+  float QueryObjectDistance(const Dataset& queries, uint32_t q, uint32_t id) {
+    ++query_stats_.distance_computations;
+    return metric_->Distance(queries, q, data_, id);
+  }
+
+  Dataset data_;
+  const DistanceMetric* metric_;
+  gpu::Device* device_;
+  GtsOptions options_;
+
+  // The tree: contiguous node list (1-based; slot 0 unused) + table list.
+  std::vector<GtsNode> node_list_;
+  std::vector<uint32_t> tl_object_;
+  std::vector<float> tl_dis_;
+  uint32_t height_ = 1;
+  uint32_t indexed_count_ = 0;  ///< objects covered by the tree
+
+  // Liveness and streaming-update state.
+  std::vector<uint8_t> alive_;
+  uint32_t alive_count_ = 0;
+  uint32_t tombstones_in_tree_ = 0;
+  CacheList cache_;
+  uint64_t rebuild_count_ = 0;
+
+  uint64_t resident_bytes_ = 0;  ///< current device reservation
+  GtsQueryStats query_stats_;
+  /// Leaf-verification candidate budget for the approximate mode (1 = exact).
+  double knn_candidate_fraction_ = 1.0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_GTS_H_

@@ -1,0 +1,177 @@
+#include "core/multi_column.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "gpu/primitives.h"
+
+namespace gts {
+
+Result<std::unique_ptr<MultiColumnGts>> MultiColumnGts::Build(
+    std::vector<Column> columns, gpu::Device* device,
+    const GtsOptions& options) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("at least one column required");
+  }
+  const uint32_t rows = columns[0].data.size();
+  for (const Column& c : columns) {
+    if (c.metric == nullptr || c.weight <= 0.0) {
+      return Status::InvalidArgument("every column needs a metric and a "
+                                     "positive weight");
+    }
+    if (c.data.size() != rows) {
+      return Status::InvalidArgument("columns must be row-aligned");
+    }
+  }
+
+  std::unique_ptr<MultiColumnGts> mc(new MultiColumnGts());
+  mc->rows_ = rows;
+  mc->device_ = device;
+  for (Column& c : columns) {
+    std::vector<uint32_t> all(rows);
+    std::iota(all.begin(), all.end(), 0u);
+    auto index = GtsIndex::Build(c.data.Slice(all), c.metric, device, options);
+    if (!index.ok()) return index.status();
+    mc->indexes_.push_back(std::move(index).value());
+  }
+  mc->columns_ = std::move(columns);
+  return mc;
+}
+
+Status MultiColumnGts::ValidateQueries(
+    const std::vector<Dataset>& query_columns) const {
+  if (query_columns.size() != columns_.size()) {
+    return Status::InvalidArgument("one query dataset per column required");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!query_columns[i].CompatibleWith(columns_[i].data)) {
+      return Status::InvalidArgument("query column type mismatch");
+    }
+    if (query_columns[i].size() != query_columns[0].size()) {
+      return Status::InvalidArgument("query columns must share a batch size");
+    }
+  }
+  return Status::Ok();
+}
+
+float MultiColumnGts::AggregateDistance(
+    const std::vector<Dataset>& query_columns, uint32_t q, uint32_t id) const {
+  double agg = 0.0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    agg += columns_[i].weight *
+           columns_[i].metric->Distance(query_columns[i], q,
+                                        columns_[i].data, id);
+  }
+  return static_cast<float>(agg);
+}
+
+Result<RangeResults> MultiColumnGts::RangeQueryBatch(
+    const std::vector<Dataset>& query_columns, std::span<const float> radii) {
+  GTS_RETURN_IF_ERROR(ValidateQueries(query_columns));
+  const uint32_t batch = query_columns[0].size();
+  if (batch != radii.size()) {
+    return Status::InvalidArgument("one radius per query required");
+  }
+  const size_t m = columns_.size();
+
+  // Pigeonhole bound [63]: Σ w_i d_i <= r implies d_i <= r / (m w_i) for at
+  // least one column, so the union of the per-column range results with the
+  // reduced radii is a complete candidate set.
+  std::vector<std::set<uint32_t>> candidates(batch);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<float> column_radii(batch);
+    for (uint32_t q = 0; q < batch; ++q) {
+      column_radii[q] = static_cast<float>(
+          radii[q] / (static_cast<double>(m) * columns_[i].weight));
+    }
+    auto res = indexes_[i]->RangeQueryBatch(query_columns[i], column_radii);
+    if (!res.ok()) return res.status();
+    for (uint32_t q = 0; q < batch; ++q) {
+      candidates[q].insert(res.value()[q].begin(), res.value()[q].end());
+    }
+  }
+
+  // Aggregate verification (one distance per column per candidate).
+  RangeResults out(batch);
+  uint64_t verified = 0;
+  for (uint32_t q = 0; q < batch; ++q) verified += candidates[q].size();
+  device_->clock().ChargeKernel(std::max<uint64_t>(verified, 1), verified * m);
+  for (uint32_t q = 0; q < batch; ++q) {
+    for (const uint32_t id : candidates[q]) {
+      if (AggregateDistance(query_columns, q, id) <= radii[q]) {
+        out[q].push_back(id);
+      }
+    }
+    std::sort(out[q].begin(), out[q].end());
+  }
+  return out;
+}
+
+Result<KnnResults> MultiColumnGts::KnnQueryBatch(
+    const std::vector<Dataset>& query_columns, uint32_t k) {
+  GTS_RETURN_IF_ERROR(ValidateQueries(query_columns));
+  const uint32_t batch = query_columns[0].size();
+  KnnResults out(batch);
+  if (k == 0 || rows_ == 0) return out;
+  const size_t m = columns_.size();
+
+  // Fagin's algorithm, batched: per round fetch each column's top-L rows;
+  // any unseen row has d_i beyond every column's L-th distance, so its
+  // aggregate exceeds the threshold T = Σ w_i d_i^(L). Once k seen rows
+  // have aggregate <= T, the top-k among seen rows is exact.
+  std::vector<bool> done(batch, false);
+  uint32_t remaining = batch;
+  for (uint32_t level = std::max(k, 8u); remaining > 0; level *= 2) {
+    const uint32_t fetch = std::min<uint32_t>(level, rows_);
+    // Per-column top-`fetch` lists for the whole batch.
+    std::vector<KnnResults> per_column(m);
+    for (size_t i = 0; i < m; ++i) {
+      auto res = indexes_[i]->KnnQueryBatch(query_columns[i], fetch);
+      if (!res.ok()) return res.status();
+      per_column[i] = std::move(res).value();
+    }
+    for (uint32_t q = 0; q < batch; ++q) {
+      if (done[q]) continue;
+      std::set<uint32_t> seen;
+      double threshold = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        const auto& lst = per_column[i][q];
+        for (const Neighbor& nb : lst) seen.insert(nb.id);
+        threshold += columns_[i].weight *
+                     (lst.empty() ? 0.0 : lst.back().dist);
+      }
+      std::vector<Neighbor> aggs;
+      aggs.reserve(seen.size());
+      for (const uint32_t id : seen) {
+        aggs.push_back(Neighbor{id, AggregateDistance(query_columns, q, id)});
+      }
+      device_->clock().ChargeKernel(std::max<size_t>(seen.size(), 1),
+                                    seen.size() * m);
+      std::sort(aggs.begin(), aggs.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  if (a.dist != b.dist) return a.dist < b.dist;
+                  return a.id < b.id;
+                });
+      const size_t kk = std::min<size_t>(k, aggs.size());
+      const bool complete =
+          fetch >= rows_ || (kk == k && aggs[kk - 1].dist <= threshold);
+      if (complete) {
+        aggs.resize(kk);
+        out[q] = std::move(aggs);
+        done[q] = true;
+        --remaining;
+      }
+    }
+    if (fetch >= rows_) break;
+  }
+  return out;
+}
+
+uint64_t MultiColumnGts::IndexBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& index : indexes_) bytes += index->IndexBytes();
+  return bytes;
+}
+
+}  // namespace gts

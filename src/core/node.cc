@@ -1,0 +1,47 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gts {
+
+uint32_t TreeHeight(uint64_t n, uint32_t nc) {
+  assert(nc >= 2);
+  // Smallest m with nc^m >= n + 1, i.e. m = ceil(log_nc(n + 1)).
+  uint32_t m = 0;
+  uint64_t power = 1;
+  while (power < n + 1) {
+    // nc^m grows past any n well before overflow for n <= 2^32.
+    power *= nc;
+    ++m;
+  }
+  return std::max<uint32_t>(1, m == 0 ? 1 : m - 1);
+}
+
+uint64_t LevelStart(uint32_t level, uint32_t nc) {
+  assert(level >= 1);
+  uint64_t power = 1;  // nc^(level-1)
+  for (uint32_t i = 1; i < level; ++i) power *= nc;
+  return (power - 1) / (nc - 1) + 1;
+}
+
+uint64_t LevelCount(uint32_t level, uint32_t nc) {
+  assert(level >= 1);
+  uint64_t power = 1;
+  for (uint32_t i = 1; i < level; ++i) power *= nc;
+  return power;
+}
+
+uint64_t TotalNodes(uint32_t height, uint32_t nc) {
+  uint64_t power = 1;
+  for (uint32_t i = 0; i < height; ++i) power *= nc;
+  return (power - 1) / (nc - 1);
+}
+
+uint32_t LevelOfNode(uint64_t id, uint32_t nc) {
+  uint32_t level = 1;
+  while (LevelStart(level + 1, nc) <= id) ++level;
+  return level;
+}
+
+}  // namespace gts

@@ -1,0 +1,56 @@
+// Tree-node layout and full-Nc-ary-tree id arithmetic (paper Eq. 1).
+// Nodes are stored contiguously in a node list with 1-based heap numbering:
+// the j-th child (0-based j) of node `i` has id (i-1)*Nc + j + 2, so all
+// nodes of one level occupy a contiguous id range — the property that lets
+// the paper parallelize per-level work over non-contiguous tree nodes.
+#ifndef GTS_CORE_NODE_H_
+#define GTS_CORE_NODE_H_
+
+#include <cstdint>
+
+namespace gts {
+
+inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// One tree node. `min_dis`/`max_dis` bound the distances from the node's
+/// objects to the *parent's* pivot (the ring the node occupies in its
+/// parent's partition); `pos`/`size` locate the node's objects in the table
+/// list. Leaves keep pivot == kInvalidId (paper: NULL).
+struct GtsNode {
+  uint32_t pivot = kInvalidId;
+  uint32_t pos = 0;
+  uint32_t size = 0;
+  float min_dis = 0.0f;
+  float max_dis = 0.0f;
+};
+
+/// Id of the j-th (0-based) child of 1-based node `id`.
+inline uint64_t ChildNodeId(uint64_t id, uint32_t j, uint32_t nc) {
+  return (id - 1) * nc + j + 2;
+}
+
+/// Parent id of a non-root node.
+inline uint64_t ParentNodeId(uint64_t id, uint32_t nc) {
+  return (id - 2) / nc + 1;
+}
+
+/// Number of tree levels for n objects with node capacity nc:
+/// max(1, ceil(log_nc(n+1)) - 1). Level 1 is the root; level `height` holds
+/// the leaves (possibly overfull — paper §4.2).
+uint32_t TreeHeight(uint64_t n, uint32_t nc);
+
+/// First 1-based id of `level` (level >= 1): (nc^(level-1)-1)/(nc-1) + 1.
+uint64_t LevelStart(uint32_t level, uint32_t nc);
+
+/// Number of node slots at `level`: nc^(level-1).
+uint64_t LevelCount(uint32_t level, uint32_t nc);
+
+/// Total node slots for a tree of `height` levels: (nc^height-1)/(nc-1).
+uint64_t TotalNodes(uint32_t height, uint32_t nc);
+
+/// Level (1-based) containing node `id`.
+uint32_t LevelOfNode(uint64_t id, uint32_t nc);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_NODE_H_

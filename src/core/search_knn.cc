@@ -1,0 +1,269 @@
+// Batched metric kNN query (paper Algorithm 5).
+//
+// Level-synchronous descent like Algorithm 4; every probed pivot is a real
+// dataset object, so its distance feeds a per-query running top-k whose k-th
+// value is the pruning bound of Lemma 5.2. The running top-k deduplicates by
+// object id (a pivot is re-seen when its leaf is verified) and skips
+// tombstoned objects, both required for exactness.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/gts.h"
+#include "gpu/primitives.h"
+
+namespace gts {
+
+namespace {
+constexpr float kNoParent = std::numeric_limits<float>::quiet_NaN();
+}  // namespace
+
+void GtsIndex::KnnState::Offer(uint32_t id, float dist) {
+  if (topk.size() == k && dist >= topk.back().dist) return;
+  for (const Neighbor& nb : topk) {
+    if (nb.id == id) return;  // duplicate sample of the same object
+  }
+  const auto it = std::lower_bound(
+      topk.begin(), topk.end(), dist,
+      [](const Neighbor& nb, float d) { return nb.dist < d; });
+  topk.insert(it, Neighbor{id, dist});
+  if (topk.size() > k) topk.pop_back();
+}
+
+Result<KnnResults> GtsIndex::KnnQueryBatchApprox(const Dataset& queries,
+                                                 uint32_t k,
+                                                 double candidate_fraction) {
+  if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
+    return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
+  }
+  knn_candidate_fraction_ = candidate_fraction;
+  auto result = KnnQueryBatch(queries, k);
+  knn_candidate_fraction_ = 1.0;
+  return result;
+}
+
+Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries,
+                                           uint32_t k) {
+  if (!queries.CompatibleWith(data_)) {
+    return Status::InvalidArgument("query objects incompatible with dataset");
+  }
+  KnnResults out(queries.size());
+  if (k == 0) return out;
+
+  std::vector<KnnState> states(queries.size());
+  for (auto& s : states) s.k = k;
+
+  if (indexed_count_ > 0) {
+    std::vector<Entry> frontier;
+    frontier.reserve(queries.size());
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      frontier.push_back(Entry{1, q, kNoParent});
+    }
+    GTS_RETURN_IF_ERROR(KnnLevel(frontier, 1, queries, &states));
+  }
+  SearchCacheKnn(queries, &states);
+
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    out[q] = std::move(states[q].topk);
+  }
+  return out;
+}
+
+Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
+                          const Dataset& queries,
+                          std::vector<KnnState>* states) {
+  if (frontier.empty()) return Status::Ok();
+  if (layer == height_) {
+    VerifyKnnLeaves(frontier, queries, states);
+    return Status::Ok();
+  }
+
+  const uint32_t nc = options_.node_capacity;
+  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
+  query_stats_.query_groups += groups.size();
+
+  for (const auto& [begin, end] : groups) {
+    const auto group = frontier.subspan(begin, end - begin);
+
+    auto buf_r = gpu::DeviceBuffer<Entry>::Create(
+        device_, group.size() * nc, "MkNNQ frontier");
+    if (!buf_r.ok()) return buf_r.status();
+    auto& buf = buf_r.value();
+
+    // Kernel A: pivot distances; each is an exact object distance and
+    // feeds the query's running top-k (Algorithm 5 lines 7-12).
+    std::vector<float> dq(group.size());
+    {
+      gpu::KernelDistanceScope scope(device_, metric_, group.size());
+      for (size_t i = 0; i < group.size(); ++i) {
+        const GtsNode& node = node_list_[group[i].node];
+        dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot);
+        if (alive_[node.pivot]) {
+          (*states)[group[i].query].Offer(node.pivot, dq[i]);
+        }
+      }
+    }
+    // The paper locates the running k-th distance with a device-wide
+    // encode-sort of the candidate distances; charge the equivalent.
+    device_->clock().ChargeSort(group.size());
+    query_stats_.nodes_visited += group.size();
+
+    // Kernel B: ring pruning with the current bound (Lemma 5.2).
+    size_t emitted = 0;
+    for (size_t i = 0; i < group.size(); ++i) {
+      const float bound = (*states)[group[i].query].Bound();
+      for (uint32_t j = 0; j < nc; ++j) {
+        const uint64_t cid = ChildNodeId(group[i].node, j, nc);
+        const GtsNode& child = node_list_[cid];
+        if (child.size == 0) continue;
+        if (dq[i] - child.max_dis > bound || child.min_dis - dq[i] > bound) {
+          continue;
+        }
+        buf[emitted++] =
+            Entry{static_cast<uint32_t>(cid), group[i].query, dq[i]};
+      }
+    }
+    device_->clock().ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
+                                  static_cast<uint64_t>(group.size()) * nc * 4);
+
+    GTS_RETURN_IF_ERROR(KnnLevel(std::span<const Entry>(buf.data(), emitted),
+                                 layer + 1, queries, states));
+  }
+  return Status::Ok();
+}
+
+void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
+                               const Dataset& queries,
+                               std::vector<KnnState>* states) {
+  // Two-kernel leaf verification (Algorithm 5's "select the current best k
+  // to derive the narrowed bound, then prune"): kernel A verifies each
+  // query's first surviving leaf to seed the k-bound; kernel B filters the
+  // remaining leaves' objects through the stored pivot column against that
+  // bound before computing exact distances.
+  // Pre-pass: per query, pick the leaf whose ring best matches the query's
+  // pivot distance — its objects are the likeliest near-neighbours.
+  std::vector<size_t> seed_entry(states->size(), SIZE_MAX);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const Entry& e = frontier[i];
+    if (std::isnan(e.parent_dq)) {  // single-level tree: any leaf
+      if (seed_entry[e.query] == SIZE_MAX) seed_entry[e.query] = i;
+      continue;
+    }
+    const auto ring_gap = [&](size_t fi) {
+      const GtsNode& leaf = node_list_[frontier[fi].node];
+      if (frontier[fi].parent_dq < leaf.min_dis) {
+        return leaf.min_dis - frontier[fi].parent_dq;
+      }
+      if (frontier[fi].parent_dq > leaf.max_dis) {
+        return frontier[fi].parent_dq - leaf.max_dis;
+      }
+      return 0.0f;
+    };
+    if (seed_entry[e.query] == SIZE_MAX ||
+        ring_gap(i) < ring_gap(seed_entry[e.query])) {
+      seed_entry[e.query] = i;
+    }
+  }
+  device_->clock().ChargeScan(frontier.size());
+
+  uint64_t seed_scanned = 0;
+  {
+    gpu::KernelDistanceScope scope(device_, metric_,
+                                   gpu::KernelDistanceScope::kAutoItems);
+    for (const size_t i : seed_entry) {
+      if (i == SIZE_MAX) continue;
+      const Entry& e = frontier[i];
+      const GtsNode& leaf = node_list_[e.node];
+      seed_scanned += leaf.size;
+      for (uint32_t j = 0; j < leaf.size; ++j) {
+        const uint32_t id = tl_object_[leaf.pos + j];
+        if (!alive_[id]) continue;
+        (*states)[e.query].Offer(id, QueryObjectDistance(queries, e.query, id));
+      }
+    }
+  }
+  query_stats_.objects_verified += seed_scanned;
+
+  // Kernel B1: pivot filter with the seeded bounds; surviving candidates
+  // carry their annulus gap |tl_dis - dq| (a lower bound on the true
+  // distance by Lemma 5.2).
+  struct Candidate {
+    uint32_t query;
+    uint32_t idx;
+    float gap;
+  };
+  std::vector<Candidate> candidates;
+  uint64_t scanned = 0;
+  for (size_t fi = 0; fi < frontier.size(); ++fi) {
+    const Entry& e = frontier[fi];
+    if (seed_entry[e.query] == fi) continue;  // already verified
+    const GtsNode& leaf = node_list_[e.node];
+    const bool has_parent = e.node != 1;
+    const float bound = (*states)[e.query].Bound();
+    scanned += leaf.size;
+    for (uint32_t j = 0; j < leaf.size; ++j) {
+      const uint32_t idx = leaf.pos + j;
+      const float gap =
+          has_parent ? std::fabs(tl_dis_[idx] - e.parent_dq) : 0.0f;
+      if (gap > bound) continue;
+      if (!alive_[tl_object_[idx]]) continue;
+      candidates.push_back(Candidate{e.query, idx, gap});
+    }
+  }
+  device_->clock().ChargeKernel(scanned, scanned * 2);
+  query_stats_.objects_verified += scanned;
+
+  // Algorithm 5's encode-sort: candidates ordered per query by ascending
+  // annulus gap, so verification tightens the bound as early as possible
+  // and skips candidates the shrunken bound disproves.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.query != b.query) return a.query < b.query;
+              return a.gap < b.gap;
+            });
+  device_->clock().ChargeSort(candidates.size());
+
+  // Approximate mode: cap each query's verified candidates to the best
+  // fraction (by annulus gap); exact mode (fraction = 1) keeps all.
+  std::vector<uint32_t> budget;
+  if (knn_candidate_fraction_ < 1.0) {
+    budget.assign(states->size(), 0);
+    std::vector<uint32_t> totals(states->size(), 0);
+    for (const Candidate& c : candidates) ++totals[c.query];
+    for (size_t q = 0; q < totals.size(); ++q) {
+      const uint32_t k2 = (*states)[q].k * 2;
+      budget[q] = std::max<uint32_t>(
+          k2, static_cast<uint32_t>(knn_candidate_fraction_ * totals[q]));
+    }
+  }
+
+  // Kernel B2: exact verification feeding the running top-k.
+  gpu::KernelDistanceScope scope(device_, metric_,
+                                 gpu::KernelDistanceScope::kAutoItems);
+  for (const Candidate& c : candidates) {
+    if (!budget.empty()) {
+      if (budget[c.query] == 0) continue;
+      --budget[c.query];
+    }
+    if (c.gap > (*states)[c.query].Bound()) continue;
+    const uint32_t id = tl_object_[c.idx];
+    (*states)[c.query].Offer(id, QueryObjectDistance(queries, c.query, id));
+  }
+}
+
+void GtsIndex::SearchCacheKnn(const Dataset& queries,
+                              std::vector<KnnState>* states) {
+  if (cache_.empty()) return;
+  const auto ids = cache_.ids();
+  gpu::KernelDistanceScope scope(device_, metric_,
+                                 static_cast<uint64_t>(queries.size()) *
+                                     ids.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (const uint32_t id : ids) {
+      (*states)[q].Offer(id, QueryObjectDistance(queries, q, id));
+    }
+  }
+}
+
+}  // namespace gts

@@ -1,0 +1,185 @@
+// Batched metric range query (paper Algorithm 4).
+//
+// The frontier of {node, query} entries descends the tree level by level.
+// Before expanding a level, the frontier is compared against the per-layer
+// budget size_GPU / ((h - layer + 1) * Nc); when it does not fit, queries
+// are split into groups processed sequentially to completion — the paper's
+// two-stage strategy that avoids the memory deadlock of fixed-buffer
+// GPU indexes.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/gts.h"
+#include "gpu/primitives.h"
+
+namespace gts {
+
+namespace {
+constexpr float kNoParent = std::numeric_limits<float>::quiet_NaN();
+}  // namespace
+
+uint64_t GtsIndex::LevelEntryLimit(uint32_t layer) const {
+  const uint64_t mem = device_->memory_bytes();
+  const uint64_t resident = std::min(resident_bytes_, mem);
+  const uint64_t avail = mem - resident;
+  const uint64_t denom = static_cast<uint64_t>(height_ - layer + 1) *
+                         options_.node_capacity * sizeof(Entry);
+  return std::max<uint64_t>(avail / std::max<uint64_t>(denom, 1), 1);
+}
+
+std::vector<std::pair<size_t, size_t>> GtsIndex::GroupFrontier(
+    std::span<const Entry> frontier, uint64_t limit_entries) const {
+  std::vector<std::pair<size_t, size_t>> groups;
+  const uint32_t nc = options_.node_capacity;
+  size_t group_begin = 0;
+  uint64_t group_expansion = 0;
+  size_t i = 0;
+  while (i < frontier.size()) {
+    // One query's contiguous segment (the frontier is sorted by query).
+    size_t j = i;
+    while (j < frontier.size() && frontier[j].query == frontier[i].query) ++j;
+    const uint64_t seg_expansion = static_cast<uint64_t>(j - i) * nc;
+    if (group_expansion > 0 && group_expansion + seg_expansion > limit_entries) {
+      groups.emplace_back(group_begin, i);
+      group_begin = i;
+      group_expansion = 0;
+    }
+    group_expansion += seg_expansion;
+    i = j;
+  }
+  if (group_begin < frontier.size()) {
+    groups.emplace_back(group_begin, frontier.size());
+  }
+  return groups;
+}
+
+Result<RangeResults> GtsIndex::RangeQueryBatch(const Dataset& queries,
+                                               std::span<const float> radii) {
+  if (queries.size() != radii.size()) {
+    return Status::InvalidArgument("one radius per query required");
+  }
+  if (!queries.CompatibleWith(data_)) {
+    return Status::InvalidArgument("query objects incompatible with dataset");
+  }
+  RangeResults out(queries.size());
+  if (indexed_count_ > 0) {
+    std::vector<Entry> frontier;
+    frontier.reserve(queries.size());
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      frontier.push_back(Entry{1, q, kNoParent});
+    }
+    GTS_RETURN_IF_ERROR(RangeLevel(frontier, 1, queries, radii, &out));
+  }
+  SearchCacheRange(queries, radii, &out);
+  for (auto& ids : out) std::sort(ids.begin(), ids.end());
+  return out;
+}
+
+Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
+                            const Dataset& queries,
+                            std::span<const float> radii, RangeResults* out) {
+  if (frontier.empty()) return Status::Ok();
+  if (layer == height_) {
+    VerifyRangeLeaves(frontier, queries, radii, out);
+    return Status::Ok();
+  }
+
+  const uint32_t nc = options_.node_capacity;
+  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
+  query_stats_.query_groups += groups.size();
+
+  for (const auto& [begin, end] : groups) {
+    const auto group = frontier.subspan(begin, end - begin);
+
+    // Next-level frontier buffer; its allocation is what the two-stage
+    // grouping keeps below the device budget.
+    auto buf_r = gpu::DeviceBuffer<Entry>::Create(
+        device_, group.size() * nc, "MRQ frontier");
+    if (!buf_r.ok()) return buf_r.status();
+    auto& buf = buf_r.value();
+
+    // Kernel A: one distance per entry to the entry node's pivot.
+    std::vector<float> dq(group.size());
+    {
+      gpu::KernelDistanceScope scope(device_, metric_, group.size());
+      for (size_t i = 0; i < group.size(); ++i) {
+        dq[i] = QueryObjectDistance(queries, group[i].query,
+                                    node_list_[group[i].node].pivot);
+      }
+    }
+    query_stats_.nodes_visited += group.size();
+
+    // Kernel B: ring pruning (Lemma 5.1) over entry x child pairs.
+    size_t emitted = 0;
+    for (size_t i = 0; i < group.size(); ++i) {
+      const float r = radii[group[i].query];
+      for (uint32_t j = 0; j < nc; ++j) {
+        const uint64_t cid = ChildNodeId(group[i].node, j, nc);
+        const GtsNode& child = node_list_[cid];
+        if (child.size == 0) continue;
+        if (dq[i] + r < child.min_dis || dq[i] - r > child.max_dis) continue;
+        buf[emitted++] =
+            Entry{static_cast<uint32_t>(cid), group[i].query, dq[i]};
+      }
+    }
+    device_->clock().ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
+                                  static_cast<uint64_t>(group.size()) * nc * 4);
+
+    GTS_RETURN_IF_ERROR(RangeLevel(
+        std::span<const Entry>(buf.data(), emitted), layer + 1, queries,
+        radii, out));
+  }
+  return Status::Ok();
+}
+
+void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
+                                 const Dataset& queries,
+                                 std::span<const float> radii,
+                                 RangeResults* out) {
+  // Phase 1: pivot filter via the stored leaf column (Lemma 5.1 with the
+  // leaf parent's pivot), skipping tombstoned objects.
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;  // (query, table idx)
+  uint64_t scanned = 0;
+  for (const Entry& e : frontier) {
+    const GtsNode& leaf = node_list_[e.node];
+    const float r = radii[e.query];
+    const bool has_parent = e.node != 1;
+    scanned += leaf.size;
+    for (uint32_t j = 0; j < leaf.size; ++j) {
+      const uint32_t idx = leaf.pos + j;
+      if (has_parent && std::fabs(tl_dis_[idx] - e.parent_dq) > r) continue;
+      if (!alive_[tl_object_[idx]]) continue;
+      candidates.emplace_back(e.query, idx);
+    }
+  }
+  device_->clock().ChargeKernel(scanned, scanned * 2);
+  query_stats_.objects_verified += scanned;
+
+  // Phase 2: exact verification of surviving candidates.
+  gpu::KernelDistanceScope scope(device_, metric_, candidates.size());
+  for (const auto& [q, idx] : candidates) {
+    const uint32_t id = tl_object_[idx];
+    const float d = QueryObjectDistance(queries, q, id);
+    if (d <= radii[q]) (*out)[q].push_back(id);
+  }
+}
+
+void GtsIndex::SearchCacheRange(const Dataset& queries,
+                                std::span<const float> radii,
+                                RangeResults* out) {
+  if (cache_.empty()) return;
+  const auto ids = cache_.ids();
+  gpu::KernelDistanceScope scope(device_, metric_,
+                                 static_cast<uint64_t>(queries.size()) *
+                                     ids.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (const uint32_t id : ids) {
+      const float d = QueryObjectDistance(queries, q, id);
+      if (d <= radii[q]) (*out)[q].push_back(id);
+    }
+  }
+}
+
+}  // namespace gts

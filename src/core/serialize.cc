@@ -1,0 +1,152 @@
+// Binary persistence for GtsIndex: a versioned header, the options, the
+// dataset payload, the tree tables, liveness and the cache-table ids.
+// Load() validates the header, the metric kind and every structural size
+// before accepting the file, and re-establishes the device residency.
+
+#include <cstring>
+#include <fstream>
+
+#include "core/gts.h"
+
+namespace gts {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'T', 'S', 'I', 'D', 'X', '0', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status GtsIndex::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<uint32_t>(metric_->kind()));
+  WritePod(out, options_.node_capacity);
+  WritePod(out, options_.seed);
+  WritePod(out, options_.cache_capacity_bytes);
+  WritePod(out, options_.max_tombstone_fraction);
+  WritePod(out, options_.fft_ancestors);
+
+  data_.Serialize(out);
+
+  WritePod(out, height_);
+  WritePod(out, indexed_count_);
+  WritePod(out, alive_count_);
+  WritePod(out, tombstones_in_tree_);
+  WritePod(out, rebuild_count_);
+  WriteVec(out, node_list_);
+  WriteVec(out, tl_object_);
+  WriteVec(out, tl_dis_);
+  WriteVec(out, alive_);
+  const std::vector<uint32_t> cache_ids(cache_.ids().begin(),
+                                        cache_.ids().end());
+  WriteVec(out, cache_ids);
+
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<GtsIndex>> GtsIndex::Load(const std::string& path,
+                                                 const DistanceMetric* metric,
+                                                 gpu::Device* device) {
+  if (metric == nullptr || device == nullptr) {
+    return Status::InvalidArgument("metric and device are required");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a GTS index file: " + path);
+  }
+  uint32_t metric_kind = 0;
+  GtsOptions options;
+  if (!ReadPod(in, &metric_kind) || !ReadPod(in, &options.node_capacity) ||
+      !ReadPod(in, &options.seed) ||
+      !ReadPod(in, &options.cache_capacity_bytes) ||
+      !ReadPod(in, &options.max_tombstone_fraction) ||
+      !ReadPod(in, &options.fft_ancestors)) {
+    return Status::InvalidArgument("corrupt index header");
+  }
+  if (metric_kind != static_cast<uint32_t>(metric->kind())) {
+    return Status::InvalidArgument(
+        "metric mismatch: index was built with a different metric");
+  }
+
+  auto data = Dataset::Deserialize(in);
+  if (!data.ok()) return data.status();
+  if (!metric->SupportsKind(data.value().kind())) {
+    return Status::Unsupported("metric does not support this data kind");
+  }
+
+  std::unique_ptr<GtsIndex> index(
+      new GtsIndex(std::move(data).value(), metric, device, options));
+  std::vector<uint32_t> cache_ids;
+  if (!ReadPod(in, &index->height_) || !ReadPod(in, &index->indexed_count_) ||
+      !ReadPod(in, &index->alive_count_) ||
+      !ReadPod(in, &index->tombstones_in_tree_) ||
+      !ReadPod(in, &index->rebuild_count_) ||
+      !ReadVec(in, &index->node_list_) || !ReadVec(in, &index->tl_object_) ||
+      !ReadVec(in, &index->tl_dis_) || !ReadVec(in, &index->alive_) ||
+      !ReadVec(in, &cache_ids)) {
+    return Status::InvalidArgument("corrupt index body");
+  }
+
+  // Structural validation before accepting the file.
+  const uint32_t n = index->data_.size();
+  if (index->alive_.size() != n || index->tl_object_.size() != index->tl_dis_.size() ||
+      index->tl_object_.size() != index->indexed_count_ ||
+      index->indexed_count_ > n || index->alive_count_ > n ||
+      index->node_list_.size() !=
+          TotalNodes(index->height_, options.node_capacity) + 1) {
+    return Status::InvalidArgument("index file fails structural validation");
+  }
+  for (const uint32_t id : index->tl_object_) {
+    if (id >= n) return Status::InvalidArgument("table list id out of range");
+  }
+  for (const uint32_t id : cache_ids) {
+    if (id >= n || !index->alive_[id]) {
+      return Status::InvalidArgument("cache id out of range");
+    }
+    index->cache_.Add(id, index->data_.ObjectBytes(id));
+  }
+
+  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes());
+  // Model the host-to-device upload of the restored index.
+  device->clock().ChargeRawNs(
+      static_cast<double>(index->resident_bytes_) * gpu::kPcieNsPerByte);
+  return index;
+}
+
+}  // namespace gts

@@ -1,0 +1,46 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gts {
+
+Dataset SampleQueries(const Dataset& data, uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  Dataset queries = data.kind() == DataKind::kFloatVector
+                        ? Dataset::FloatVectors(data.dim())
+                        : Dataset::Strings();
+  for (uint32_t i = 0; i < count && data.size() > 0; ++i) {
+    queries.AppendFrom(data,
+                       static_cast<uint32_t>(rng.UniformU64(data.size())));
+  }
+  return queries;
+}
+
+float CalibrateRadius(const Dataset& data, const DistanceMetric& metric,
+                      double selectivity, uint32_t samples, uint64_t seed) {
+  if (data.size() < 2) return 0.0f;
+  Rng rng(seed);
+  const uint32_t count = std::min<uint32_t>(samples, data.size());
+  std::vector<float> dists;
+  dists.reserve(static_cast<size_t>(count) * count);
+  std::vector<uint32_t> qs(count), os(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    qs[i] = static_cast<uint32_t>(rng.UniformU64(data.size()));
+    os[i] = static_cast<uint32_t>(rng.UniformU64(data.size()));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    for (uint32_t j = 0; j < count; ++j) {
+      dists.push_back(metric.Distance(data, qs[i], os[j]));
+    }
+  }
+  std::sort(dists.begin(), dists.end());
+  const double clamped = std::clamp(selectivity, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(clamped * (dists.size() - 1));
+  idx = std::min(idx, dists.size() - 1);
+  return dists[idx];
+}
+
+}  // namespace gts

@@ -1,0 +1,39 @@
+// Query-workload tooling: query sampling and selectivity-calibrated radii.
+// The paper expresses MRQ radii as "r (×0.01%)"; we reproduce that by
+// choosing, per dataset, the radius whose expected selectivity equals the
+// requested fraction (estimated from sampled pair distances).
+#ifndef GTS_DATA_WORKLOAD_H_
+#define GTS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metric/dataset.h"
+#include "metric/distance.h"
+
+namespace gts {
+
+/// Samples `count` query objects from `data` (with replacement,
+/// deterministic). Queries are copies of dataset objects, like the paper's
+/// randomly generated queries.
+Dataset SampleQueries(const Dataset& data, uint32_t count, uint64_t seed);
+
+/// Radius whose expected result-set fraction is `selectivity`
+/// (e.g. 8 * 0.0001 for the paper's default r = 8 (×0.01%)). Estimated from
+/// `samples`² sampled query-object distances.
+float CalibrateRadius(const Dataset& data, const DistanceMetric& metric,
+                      double selectivity, uint32_t samples, uint64_t seed);
+
+/// The paper's parameter grids (Table 3); defaults in the middle.
+inline constexpr int kRadiusSteps[] = {1, 2, 4, 8, 16, 32};
+inline constexpr int kDefaultRadiusStep = 8;
+inline constexpr int kKValues[] = {1, 2, 4, 8, 16, 32};
+inline constexpr int kDefaultK = 8;
+inline constexpr int kBatchSizes[] = {16, 32, 64, 128, 256, 512};
+inline constexpr int kDefaultBatch = 128;
+inline constexpr int kNodeCapacities[] = {10, 20, 40, 80, 160, 320};
+inline constexpr int kDefaultNodeCapacity = 20;
+
+}  // namespace gts
+
+#endif  // GTS_DATA_WORKLOAD_H_

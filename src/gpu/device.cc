@@ -1,0 +1,29 @@
+#include "gpu/device.h"
+
+namespace gts::gpu {
+
+Device::Device(DeviceOptions options)
+    : options_(options),
+      clock_(ClockConfig{.lanes = options.lanes,
+                         .ns_per_op = options.ns_per_op,
+                         .launch_overhead_ns = options.launch_overhead_ns}) {}
+
+Status Device::Allocate(uint64_t bytes, const char* what) {
+  if (allocated_bytes_ + bytes > options_.memory_bytes) {
+    return Status::MemoryLimit(
+        std::string(what) + ": requested " + std::to_string(bytes) +
+        " B with " + std::to_string(allocated_bytes_) + " B in use of " +
+        std::to_string(options_.memory_bytes) + " B device memory");
+  }
+  allocated_bytes_ += bytes;
+  if (allocated_bytes_ > peak_allocated_bytes_) {
+    peak_allocated_bytes_ = allocated_bytes_;
+  }
+  return Status::Ok();
+}
+
+void Device::Free(uint64_t bytes) {
+  allocated_bytes_ = (bytes > allocated_bytes_) ? 0 : allocated_bytes_ - bytes;
+}
+
+}  // namespace gts::gpu

@@ -1,0 +1,115 @@
+// Simulated GPU device: a tracked global-memory budget plus a SimClock.
+// DeviceBuffer<T> is the RAII allocation primitive; exceeding the budget
+// yields StatusCode::kMemoryLimit, which is how the paper's OOM / memory-
+// deadlock episodes (Table 4, Figs. 9 and 11) are reproduced.
+#ifndef GTS_GPU_DEVICE_H_
+#define GTS_GPU_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/sim_clock.h"
+
+namespace gts::gpu {
+
+struct DeviceOptions {
+  /// Concurrent computing power C of the paper's cost model.
+  uint32_t lanes = kDefaultGpuLanes;
+  /// Global-memory budget. Default models a scaled-down 11 GB card; the
+  /// benchmark harness sets per-experiment values (see bench/harness.cc).
+  uint64_t memory_bytes = 256ull << 20;
+  double ns_per_op = kGpuNsPerOp;
+  double launch_overhead_ns = kGpuLaunchOverheadNs;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceOptions options = {});
+
+  /// Reserves `bytes` of device memory; fails with kMemoryLimit when the
+  /// budget would be exceeded. `what` names the allocation for diagnostics.
+  Status Allocate(uint64_t bytes, const char* what);
+  /// Releases a prior reservation.
+  void Free(uint64_t bytes);
+
+  uint64_t memory_bytes() const { return options_.memory_bytes; }
+  /// Changes the budget (Fig. 8 sweeps GPU memory). Does not touch current
+  /// reservations; an over-budget state simply fails future allocations.
+  void set_memory_bytes(uint64_t bytes) { options_.memory_bytes = bytes; }
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
+  void ResetPeak() { peak_allocated_bytes_ = allocated_bytes_; }
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  uint32_t lanes() const { return options_.lanes; }
+
+ private:
+  DeviceOptions options_;
+  SimClock clock_;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t peak_allocated_bytes_ = 0;
+};
+
+/// RAII device allocation backed by host storage (the simulator executes on
+/// the host; the Device accounts the memory). Move-only.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  static Result<DeviceBuffer<T>> Create(Device* device, size_t n,
+                                        const char* what) {
+    const uint64_t bytes = static_cast<uint64_t>(n) * sizeof(T);
+    GTS_RETURN_IF_ERROR(device->Allocate(bytes, what));
+    DeviceBuffer<T> buf;
+    buf.device_ = device;
+    buf.bytes_ = bytes;
+    buf.data_.resize(n);
+    return buf;
+  }
+
+  ~DeviceBuffer() { Release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      device_ = other.device_;
+      bytes_ = other.bytes_;
+      data_ = std::move(other.data_);
+      other.device_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  size_t size() const { return data_.size(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  std::vector<T>& vec() { return data_; }
+  const std::vector<T>& vec() const { return data_; }
+
+ private:
+  void Release() {
+    if (device_ != nullptr) device_->Free(bytes_);
+    device_ = nullptr;
+    bytes_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  uint64_t bytes_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gts::gpu
+
+#endif  // GTS_GPU_DEVICE_H_

@@ -1,0 +1,90 @@
+// Simulated execution clocks.
+//
+// This environment has no CUDA device (and a single CPU core), so the paper's
+// performance comparisons are reproduced with an execution-model simulator:
+// algorithms run for real (producing exact results), while their *time* is
+// accounted on a simulated clock parameterized by
+//   - lanes: number of concurrently executing lanes (GPU ≈ thousands,
+//     CPU baseline ≈ 1),
+//   - ns_per_op: cost of one elementary operation on one lane,
+//   - launch_overhead_ns: fixed cost per kernel launch (0 for the host).
+// A kernel processing `items` work items whose total measured work is
+// `total_ops` elementary operations costs
+//   ceil(items / lanes) * (total_ops / items) * ns_per_op + launch_overhead.
+// Elementary-op counts come from the real computation (metric op counters,
+// DP cells, comparisons), so the model is driven by measured work.
+#ifndef GTS_GPU_SIM_CLOCK_H_
+#define GTS_GPU_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace gts::gpu {
+
+/// Calibration constants (documented in DESIGN.md §2). The CPU:GPU per-lane
+/// speed ratio models "one fast SIMD core vs thousands of slow lanes":
+/// 0.05 ns/op ≈ 20 Gop/s for a vectorized single core, so the full-device
+/// gap is 4096 lanes / (1.2/0.05) ≈ 170x — the paper's "up to two orders of
+/// magnitude" band.
+inline constexpr double kGpuNsPerOp = 1.2;
+inline constexpr double kCpuNsPerOp = 0.05;
+inline constexpr double kGpuLaunchOverheadNs = 3000.0;
+inline constexpr uint32_t kDefaultGpuLanes = 4096;
+/// Host-to-device transfer cost (~12 GB/s PCIe 3).
+inline constexpr double kPcieNsPerByte = 0.08;
+
+struct ClockConfig {
+  uint32_t lanes = kDefaultGpuLanes;
+  double ns_per_op = kGpuNsPerOp;
+  double launch_overhead_ns = kGpuLaunchOverheadNs;
+};
+
+/// Accumulates simulated time. Single-threaded; not thread-safe by design.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(ClockConfig config) : config_(config) {}
+
+  const ClockConfig& config() const { return config_; }
+
+  /// Charges one kernel over `items` work items with `total_ops` measured
+  /// elementary operations. No-op when items == 0.
+  void ChargeKernel(uint64_t items, uint64_t total_ops);
+
+  /// Charges a device-wide comparison sort of n keys
+  /// (bitonic/radix-style: ceil(n/lanes) * log2^2(n)-ish; we use
+  /// ceil(n/lanes) * kSortOpsPerKey * log2(n) as in [30]).
+  void ChargeSort(uint64_t n);
+
+  /// Charges a device-wide scan / reduction over n items.
+  void ChargeScan(uint64_t n);
+
+  /// Adds raw nanoseconds (e.g. host-device transfer models).
+  void ChargeRawNs(double ns) { elapsed_ns_ += ns; }
+
+  double ElapsedNs() const { return elapsed_ns_; }
+  double ElapsedSeconds() const { return elapsed_ns_ * 1e-9; }
+  uint64_t kernels_launched() const { return kernels_launched_; }
+
+  void Reset() {
+    elapsed_ns_ = 0.0;
+    kernels_launched_ = 0;
+  }
+
+ private:
+  static constexpr double kSortOpsPerKey = 4.0;
+
+  ClockConfig config_;
+  double elapsed_ns_ = 0.0;
+  uint64_t kernels_launched_ = 0;
+};
+
+/// Clock configuration for CPU (host) baselines: one lane, faster per-op,
+/// no kernel-launch overhead.
+inline ClockConfig HostClockConfig() {
+  return ClockConfig{.lanes = 1, .ns_per_op = kCpuNsPerOp,
+                     .launch_overhead_ns = 0.0};
+}
+
+}  // namespace gts::gpu
+
+#endif  // GTS_GPU_SIM_CLOCK_H_

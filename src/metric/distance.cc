@@ -1,0 +1,143 @@
+#include "metric/distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace gts {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1: return "L1";
+    case MetricKind::kL2: return "L2";
+    case MetricKind::kAngularCosine: return "AngularCosine";
+    case MetricKind::kEdit: return "Edit";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+class L1Metric final : public DistanceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kL1; }
+  bool SupportsKind(DataKind k) const override {
+    return k == DataKind::kFloatVector;
+  }
+
+ protected:
+  float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                     uint32_t j) const override {
+    const auto va = a.Vector(i);
+    const auto vb = b.Vector(j);
+    double sum = 0.0;
+    for (size_t d = 0; d < va.size(); ++d) sum += std::fabs(va[d] - vb[d]);
+    stats_.ops += va.size();
+    return static_cast<float>(sum);
+  }
+};
+
+class L2Metric final : public DistanceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kL2; }
+  bool SupportsKind(DataKind k) const override {
+    return k == DataKind::kFloatVector;
+  }
+
+ protected:
+  float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                     uint32_t j) const override {
+    const auto va = a.Vector(i);
+    const auto vb = b.Vector(j);
+    double sum = 0.0;
+    for (size_t d = 0; d < va.size(); ++d) {
+      const double diff = va[d] - vb[d];
+      sum += diff * diff;
+    }
+    stats_.ops += va.size();
+    return static_cast<float>(std::sqrt(sum));
+  }
+};
+
+// Angular distance acos(cos θ)/π ∈ [0, 1]. The raw "cosine distance"
+// 1 - cos θ violates the triangle inequality; the angular form is the
+// standard metric-space substitute and induces the same kNN ordering.
+class AngularCosineMetric final : public DistanceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kAngularCosine; }
+  bool SupportsKind(DataKind k) const override {
+    return k == DataKind::kFloatVector;
+  }
+
+ protected:
+  float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                     uint32_t j) const override {
+    const auto va = a.Vector(i);
+    const auto vb = b.Vector(j);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t d = 0; d < va.size(); ++d) {
+      dot += static_cast<double>(va[d]) * vb[d];
+      na += static_cast<double>(va[d]) * va[d];
+      nb += static_cast<double>(vb[d]) * vb[d];
+    }
+    stats_.ops += 3 * va.size();
+    const double denom = std::sqrt(na) * std::sqrt(nb);
+    if (denom <= 0.0) return (na == nb) ? 0.0f : 1.0f;
+    double c = std::clamp(dot / denom, -1.0, 1.0);
+    // sqrt rounding can leave identical vectors a hair below cos = 1;
+    // snap so the identity axiom holds exactly.
+    if (c > 1.0 - 1e-12) c = 1.0;
+    return static_cast<float>(std::acos(c) / M_PI);
+  }
+};
+
+// Levenshtein edit distance, two-row DP; ops = #cells computed.
+class EditMetric final : public DistanceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kEdit; }
+  bool SupportsKind(DataKind k) const override {
+    return k == DataKind::kString;
+  }
+
+ protected:
+  float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                     uint32_t j) const override {
+    std::string_view sa = a.String(i);
+    std::string_view sb = b.String(j);
+    if (sa.size() > sb.size()) std::swap(sa, sb);  // sa is the shorter
+    const size_t m = sa.size(), n = sb.size();
+    if (m == 0) return static_cast<float>(n);
+    row_.resize(m + 1);
+    for (size_t x = 0; x <= m; ++x) row_[x] = static_cast<uint32_t>(x);
+    for (size_t y = 1; y <= n; ++y) {
+      uint32_t diag = row_[0];
+      row_[0] = static_cast<uint32_t>(y);
+      for (size_t x = 1; x <= m; ++x) {
+        const uint32_t sub = diag + (sa[x - 1] != sb[y - 1] ? 1 : 0);
+        diag = row_[x];
+        row_[x] = std::min({row_[x] + 1, row_[x - 1] + 1, sub});
+      }
+    }
+    stats_.ops += static_cast<uint64_t>(m) * n;
+    return static_cast<float>(row_[m]);
+  }
+
+ private:
+  mutable std::vector<uint32_t> row_;  // scratch; single-threaded simulator
+};
+
+}  // namespace
+
+std::unique_ptr<DistanceMetric> MakeMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1: return std::make_unique<L1Metric>();
+    case MetricKind::kL2: return std::make_unique<L2Metric>();
+    case MetricKind::kAngularCosine:
+      return std::make_unique<AngularCosineMetric>();
+    case MetricKind::kEdit: return std::make_unique<EditMetric>();
+  }
+  return nullptr;
+}
+
+}  // namespace gts

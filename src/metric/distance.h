@@ -1,0 +1,81 @@
+// Distance metrics over Dataset objects. Each metric reports, alongside the
+// distance value, the number of elementary operations it performed; the
+// simulated device / host clocks charge time from those counts, so the
+// performance model is driven by *measured* work, not estimates.
+#ifndef GTS_METRIC_DISTANCE_H_
+#define GTS_METRIC_DISTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "metric/dataset.h"
+
+namespace gts {
+
+enum class MetricKind {
+  kL1,             ///< Manhattan distance (Color)
+  kL2,             ///< Euclidean distance (T-Loc)
+  kAngularCosine,  ///< angular distance acos(cos θ)/π — metric form of word
+                   ///< cosine distance (Vector)
+  kEdit,           ///< Levenshtein edit distance (Words, DNA)
+};
+
+const char* MetricKindName(MetricKind kind);
+
+/// Fixed elementary-op surcharge per distance evaluation, modelling the
+/// per-object memory traffic and call overhead that dominate cheap metrics
+/// (an L2 distance over 2-d points is memory-bound, not flop-bound). Without
+/// it the simulator prices brute force as nearly free at laptop scale.
+inline constexpr uint64_t kDistanceCallOps = 12;
+
+/// Cumulative work counters for one metric instance. Single-threaded
+/// simulator ⇒ plain integers suffice.
+struct DistanceStats {
+  uint64_t calls = 0;  ///< number of distance evaluations
+  uint64_t ops = 0;    ///< elementary operations (dim or DP cells, plus
+                       ///< kDistanceCallOps per call)
+};
+
+/// Abstract distance metric. Implementations must satisfy the metric axioms
+/// (identity, symmetry, non-negativity, triangle inequality) — verified by
+/// the property test-suite.
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// Distance between object `i` of `a` and object `j` of `b`.
+  float Distance(const Dataset& a, uint32_t i, const Dataset& b,
+                 uint32_t j) const {
+    ++stats_.calls;
+    stats_.ops += kDistanceCallOps;
+    return DistanceImpl(a, i, b, j);
+  }
+
+  /// Distance between two objects of the same dataset.
+  float Distance(const Dataset& d, uint32_t i, uint32_t j) const {
+    return Distance(d, i, d, j);
+  }
+
+  virtual MetricKind kind() const = 0;
+  std::string_view Name() const { return MetricKindName(kind()); }
+
+  /// True if this metric applies to datasets of the given kind.
+  virtual bool SupportsKind(DataKind kind) const = 0;
+
+  const DistanceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DistanceStats{}; }
+
+ protected:
+  virtual float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                             uint32_t j) const = 0;
+
+  mutable DistanceStats stats_;
+};
+
+/// Factory for the metrics used by the paper's five datasets.
+std::unique_ptr<DistanceMetric> MakeMetric(MetricKind kind);
+
+}  // namespace gts
+
+#endif  // GTS_METRIC_DISTANCE_H_

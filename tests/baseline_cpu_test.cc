@@ -1,0 +1,165 @@
+// CPU baselines (BST, MVPT, EGNAT) against brute force: exactness on range
+// and kNN queries, streaming-update correctness, footprint ordering, and
+// the scaled host-memory OOM behaviour.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "baselines/baseline.h"
+#include "baselines/brute_force.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+struct Param {
+  MethodId method;
+  DatasetId dataset;
+};
+
+class CpuBaselineTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CpuBaselineTest, RangeMatchesBruteForce) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 150 : 500;
+  const Dataset data = GenerateDataset(p.dataset, n, 71);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+
+  auto method = MakeMethod(p.method, ctx);
+  ASSERT_TRUE(method->Build(&data, metric.get()).ok());
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+
+  const Dataset queries = SampleQueries(data, 12, 5);
+  for (const double sel : {0.005, 0.05}) {
+    const float r = CalibrateRadius(data, *metric, sel, 100, 7);
+    const std::vector<float> radii(queries.size(), r);
+    auto expected = ref.RangeBatch(queries, radii);
+    auto got = method->RangeBatch(queries, radii);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(got.value()[q], expected.value()[q])
+          << method->Name() << " query " << q << " r " << r;
+    }
+  }
+}
+
+TEST_P(CpuBaselineTest, KnnMatchesBruteForceDistances) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 150 : 500;
+  const Dataset data = GenerateDataset(p.dataset, n, 72);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+
+  auto method = MakeMethod(p.method, ctx);
+  ASSERT_TRUE(method->Build(&data, metric.get()).ok());
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+
+  const Dataset queries = SampleQueries(data, 12, 6);
+  for (const uint32_t k : {1u, 8u, 32u}) {
+    auto expected = ref.KnnBatch(queries, k);
+    auto got = method->KnnBatch(queries, k);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(got.value()[q].size(), expected.value()[q].size());
+      for (size_t i = 0; i < got.value()[q].size(); ++i) {
+        EXPECT_FLOAT_EQ(got.value()[q][i].dist, expected.value()[q][i].dist)
+            << method->Name() << " q " << q << " k " << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_P(CpuBaselineTest, StreamUpdateCycleKeepsResults) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 120 : 400;
+  const Dataset data = GenerateDataset(p.dataset, n, 73);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto method = MakeMethod(p.method, ctx);
+  ASSERT_TRUE(method->Build(&data, metric.get()).ok());
+
+  const Dataset queries = SampleQueries(data, 6, 9);
+  const float r = CalibrateRadius(data, *metric, 0.02, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+  auto before = method->RangeBatch(queries, radii);
+  ASSERT_TRUE(before.ok());
+
+  for (uint32_t id = 0; id < n; id += 7) {
+    ASSERT_TRUE(method->StreamRemoveInsert(id).ok());
+  }
+  auto after = method->RangeBatch(queries, radii);
+  ASSERT_TRUE(after.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(after.value()[q], before.value()[q]) << method->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, CpuBaselineTest,
+    ::testing::Values(Param{MethodId::kBst, DatasetId::kTLoc},
+                      Param{MethodId::kBst, DatasetId::kWords},
+                      Param{MethodId::kBst, DatasetId::kColor},
+                      Param{MethodId::kMvpt, DatasetId::kTLoc},
+                      Param{MethodId::kMvpt, DatasetId::kWords},
+                      Param{MethodId::kMvpt, DatasetId::kDna},
+                      Param{MethodId::kMvpt, DatasetId::kVector},
+                      Param{MethodId::kEgnat, DatasetId::kTLoc},
+                      Param{MethodId::kEgnat, DatasetId::kWords},
+                      Param{MethodId::kEgnat, DatasetId::kColor}),
+    [](const auto& info) {
+      return SafeName(std::string(MethodIdName(info.param.method)) + "_" +
+             GetDatasetSpec(info.param.dataset).name);
+    });
+
+TEST(CpuBaselineFootprintTest, EgnatDwarfsMvpt) {
+  // Table 4's storage ordering: EGNAT's cached distance tables dominate.
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 74);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto egnat = MakeMethod(MethodId::kEgnat, ctx);
+  auto mvpt = MakeMethod(MethodId::kMvpt, ctx);
+  ASSERT_TRUE(egnat->Build(&data, metric.get()).ok());
+  ASSERT_TRUE(mvpt->Build(&data, metric.get()).ok());
+  EXPECT_GT(egnat->IndexBytes(), 3 * mvpt->IndexBytes());
+}
+
+TEST(CpuBaselineBudgetTest, EgnatOomsUnderTinyHostBudget) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 75);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device device;
+  auto egnat = MakeMethod(MethodId::kEgnat,
+                          MethodContext{&device, 16 * 1024, 42});
+  const Status s = egnat->Build(&data, metric.get());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kMemoryLimit);
+  // MVPT fits in the same budget.
+  auto mvpt = MakeMethod(MethodId::kMvpt,
+                         MethodContext{&device, 200 * 1024, 42});
+  EXPECT_TRUE(mvpt->Build(&data, metric.get()).ok());
+}
+
+TEST(CpuBaselineClockTest, QueriesChargeHostClock) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 500, 76);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device device;
+  auto bst = MakeMethod(MethodId::kBst, MethodContext{&device, UINT64_MAX, 42});
+  ASSERT_TRUE(bst->Build(&data, metric.get()).ok());
+  bst->ResetClocks();
+  const Dataset queries = SampleQueries(data, 8, 2);
+  const std::vector<float> radii(queries.size(), 1.0f);
+  ASSERT_TRUE(bst->RangeBatch(queries, radii).ok());
+  EXPECT_GT(bst->SimSeconds(), 0.0);
+  // CPU methods must not charge the device clock.
+  EXPECT_DOUBLE_EQ(device.clock().ElapsedNs(), 0.0);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,164 @@
+// General-purpose GPU baselines: GPU-Table (brute-force table) exactness
+// and memory-grouped passes; GPU-Tree exactness plus its fixed-buffer
+// deadlock behaviour under tight device budgets.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "baselines/baseline.h"
+#include "baselines/brute_force.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+struct Param {
+  MethodId method;
+  DatasetId dataset;
+};
+
+class GpuBaselineTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GpuBaselineTest, RangeAndKnnMatchBruteForce) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 150 : 500;
+  const Dataset data = GenerateDataset(p.dataset, n, 81);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+
+  auto method = MakeMethod(p.method, ctx);
+  ASSERT_TRUE(method->Build(&data, metric.get()).ok());
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+  const Dataset queries = SampleQueries(data, 12, 5);
+
+  const float r = CalibrateRadius(data, *metric, 0.02, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+  auto expected_r = ref.RangeBatch(queries, radii);
+  auto got_r = method->RangeBatch(queries, radii);
+  ASSERT_TRUE(expected_r.ok() && got_r.ok()) << got_r.status().ToString();
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::vector<uint32_t> sorted = got_r.value()[q];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, expected_r.value()[q]) << method->Name();
+  }
+
+  auto expected_k = ref.KnnBatch(queries, 8);
+  auto got_k = method->KnnBatch(queries, 8);
+  ASSERT_TRUE(expected_k.ok() && got_k.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(got_k.value()[q].size(), expected_k.value()[q].size());
+    for (size_t i = 0; i < got_k.value()[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(got_k.value()[q][i].dist,
+                      expected_k.value()[q][i].dist)
+          << method->Name() << " q " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, GpuBaselineTest,
+    ::testing::Values(Param{MethodId::kGpuTable, DatasetId::kTLoc},
+                      Param{MethodId::kGpuTable, DatasetId::kWords},
+                      Param{MethodId::kGpuTable, DatasetId::kColor},
+                      Param{MethodId::kGpuTable, DatasetId::kDna},
+                      Param{MethodId::kGpuTree, DatasetId::kTLoc},
+                      Param{MethodId::kGpuTree, DatasetId::kWords},
+                      Param{MethodId::kGpuTree, DatasetId::kVector},
+                      Param{MethodId::kGpuTree, DatasetId::kColor}),
+    [](const auto& info) {
+      return SafeName(std::string(MethodIdName(info.param.method)) + "_" +
+             GetDatasetSpec(info.param.dataset).name);
+    });
+
+TEST(GpuTableTest, NoConstructionCostBeyondTransfer) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 82);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device device;
+  auto table = MakeMethod(MethodId::kGpuTable,
+                          MethodContext{&device, UINT64_MAX, 42});
+  table->ResetClocks();
+  ASSERT_TRUE(table->Build(&data, metric.get()).ok());
+  // Only the PCIe transfer is charged: no distance computations.
+  EXPECT_EQ(metric->stats().calls, 0u);
+  EXPECT_EQ(table->IndexBytes(), 0u);
+}
+
+TEST(GpuTableTest, GroupsPassesUnderTightMemoryAndStaysExact) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 83);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  // Budget fits the data plus ~2 query rows of distances at a time.
+  gpu::Device tight(gpu::DeviceOptions{
+      .memory_bytes = data.TotalBytes() + 2000 * sizeof(float) * 4});
+  auto table = MakeMethod(MethodId::kGpuTable,
+                          MethodContext{&tight, UINT64_MAX, 42});
+  ASSERT_TRUE(table->Build(&data, metric.get()).ok());
+
+  gpu::Device big;
+  BruteForce ref(MethodContext{&big, UINT64_MAX, 42});
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+
+  const Dataset queries = SampleQueries(data, 32, 5);
+  auto expected = ref.KnnBatch(queries, 4);
+  auto got = table->KnnBatch(queries, 4);
+  ASSERT_TRUE(expected.ok() && got.ok()) << got.status().ToString();
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (size_t i = 0; i < got.value()[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(got.value()[q][i].dist, expected.value()[q][i].dist);
+    }
+  }
+}
+
+TEST(GpuTreeTest, LargeBatchDeadlocksOnWideObjects) {
+  // Fig. 9's episode: wide (Color-like) objects x large batch overflow the
+  // fixed per-block result buffers; GTS survives the same setting.
+  const Dataset data = GenerateDataset(DatasetId::kColor, 1000, 84);
+  auto metric = MakeDatasetMetric(DatasetId::kColor);
+  gpu::Device device(gpu::DeviceOptions{
+      .memory_bytes = data.TotalBytes() + (4ull << 20)});
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+
+  auto tree = MakeMethod(MethodId::kGpuTree, ctx);
+  ASSERT_TRUE(tree->Build(&data, metric.get()).ok());
+  const float r = CalibrateRadius(data, *metric, 0.01, 100, 7);
+
+  const Dataset small_batch = SampleQueries(data, 16, 5);
+  const std::vector<float> small_radii(small_batch.size(), r);
+  EXPECT_TRUE(tree->RangeBatch(small_batch, small_radii).ok());
+
+  const Dataset big_batch = SampleQueries(data, 512, 5);
+  const std::vector<float> big_radii(big_batch.size(), r);
+  const auto res = tree->RangeBatch(big_batch, big_radii);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDeadlock);
+
+  // GTS completes the same 512-query batch in the same budget.
+  tree.reset();  // release GPU-Tree's residency
+  auto gts = MakeMethod(MethodId::kGts, ctx);
+  ASSERT_TRUE(gts->Build(&data, metric.get()).ok());
+  EXPECT_TRUE(gts->RangeBatch(big_batch, big_radii).ok());
+}
+
+TEST(GpuTreeTest, BuildLaunchesManyKernels) {
+  // The per-node construction pattern: kernel count scales with node count,
+  // unlike GTS's per-level kernels (Table 4's construction gap).
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 85);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device device;
+  auto tree = MakeMethod(MethodId::kGpuTree,
+                         MethodContext{&device, UINT64_MAX, 42});
+  device.clock().Reset();
+  ASSERT_TRUE(tree->Build(&data, metric.get()).ok());
+  const uint64_t tree_kernels = device.clock().kernels_launched();
+
+  device.clock().Reset();
+  auto gts = MakeMethod(MethodId::kGts, MethodContext{&device, UINT64_MAX, 42});
+  ASSERT_TRUE(gts->Build(&data, metric.get()).ok());
+  const uint64_t gts_kernels = device.clock().kernels_launched();
+  EXPECT_GT(tree_kernels, 10 * gts_kernels);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,184 @@
+// Special-purpose GPU baselines: LBPG-Tree (R-tree, Lp vectors only) and
+// GANNS (approximate graph kNN, vectors only) — applicability limits,
+// exactness/recall, and their memory-failure modes.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <set>
+
+#include "baselines/baseline.h"
+#include "baselines/brute_force.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+TEST(LbpgTreeTest, SupportsOnlyLpVectors) {
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto lbpg = MakeMethod(MethodId::kLbpgTree, ctx);
+
+  const Dataset words = GenerateDataset(DatasetId::kWords, 50, 1);
+  auto edit = MakeDatasetMetric(DatasetId::kWords);
+  EXPECT_FALSE(lbpg->Supports(words, *edit));
+  EXPECT_EQ(lbpg->Build(&words, edit.get()).code(), StatusCode::kUnsupported);
+
+  const Dataset vec = GenerateDataset(DatasetId::kVector, 50, 1);
+  auto cosine = MakeDatasetMetric(DatasetId::kVector);
+  EXPECT_FALSE(lbpg->Supports(vec, *cosine));  // not an Lp norm
+
+  const Dataset tloc = GenerateDataset(DatasetId::kTLoc, 50, 1);
+  auto l2 = MakeDatasetMetric(DatasetId::kTLoc);
+  EXPECT_TRUE(lbpg->Supports(tloc, *l2));
+}
+
+class LbpgExactnessTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(LbpgExactnessTest, MatchesBruteForce) {
+  const DatasetId id = GetParam();
+  const Dataset data = GenerateDataset(id, 600, 91);
+  auto metric = MakeDatasetMetric(id);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto lbpg = MakeMethod(MethodId::kLbpgTree, ctx);
+  ASSERT_TRUE(lbpg->Build(&data, metric.get()).ok());
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+
+  const Dataset queries = SampleQueries(data, 12, 5);
+  const float r = CalibrateRadius(data, *metric, 0.02, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+  auto expected_r = ref.RangeBatch(queries, radii);
+  auto got_r = lbpg->RangeBatch(queries, radii);
+  ASSERT_TRUE(expected_r.ok() && got_r.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(got_r.value()[q], expected_r.value()[q]);
+  }
+
+  auto expected_k = ref.KnnBatch(queries, 8);
+  auto got_k = lbpg->KnnBatch(queries, 8);
+  ASSERT_TRUE(expected_k.ok() && got_k.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(got_k.value()[q].size(), expected_k.value()[q].size());
+    for (size_t i = 0; i < got_k.value()[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(got_k.value()[q][i].dist,
+                      expected_k.value()[q][i].dist);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LpDatasets, LbpgExactnessTest,
+                         ::testing::Values(DatasetId::kTLoc, DatasetId::kColor),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+TEST(LbpgTreeTest, HighDimensionalFrontierOverflowsTightDevice) {
+  // Fig. 11's dimension curse: in 282-d the MBRs barely prune, and the
+  // un-grouped frontier allocation overruns a tight device.
+  const Dataset data = GenerateDataset(DatasetId::kColor, 2000, 92);
+  auto metric = MakeDatasetMetric(DatasetId::kColor);
+  gpu::Device tight(gpu::DeviceOptions{
+      .memory_bytes = data.TotalBytes() * 5 / 4});
+  auto lbpg = MakeMethod(MethodId::kLbpgTree,
+                         MethodContext{&tight, UINT64_MAX, 42});
+  ASSERT_TRUE(lbpg->Build(&data, metric.get()).ok());
+  const Dataset queries = SampleQueries(data, 256, 5);
+  const auto res = lbpg->KnnBatch(queries, 16);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kMemoryLimit);
+}
+
+TEST(GannsTest, VectorOnlyAndNoRangeQueries) {
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto ganns = MakeMethod(MethodId::kGanns, ctx);
+  EXPECT_FALSE(ganns->IsExact());
+
+  const Dataset words = GenerateDataset(DatasetId::kWords, 50, 1);
+  auto edit = MakeDatasetMetric(DatasetId::kWords);
+  EXPECT_FALSE(ganns->Supports(words, *edit));
+
+  const Dataset vec = GenerateDataset(DatasetId::kVector, 300, 1);
+  auto cosine = MakeDatasetMetric(DatasetId::kVector);
+  ASSERT_TRUE(ganns->Build(&vec, cosine.get()).ok());
+  const Dataset queries = SampleQueries(vec, 4, 5);
+  const std::vector<float> radii(queries.size(), 0.5f);
+  EXPECT_EQ(ganns->RangeBatch(queries, radii).status().code(),
+            StatusCode::kUnsupported);
+}
+
+class GannsRecallTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(GannsRecallTest, HighRecallOnClusteredVectors) {
+  const DatasetId id = GetParam();
+  const Dataset data = GenerateDataset(id, 1000, 93);
+  auto metric = MakeDatasetMetric(id);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto ganns = MakeMethod(MethodId::kGanns, ctx);
+  ASSERT_TRUE(ganns->Build(&data, metric.get()).ok());
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+
+  const uint32_t k = 10;
+  const Dataset queries = SampleQueries(data, 20, 5);
+  auto expected = ref.KnnBatch(queries, k);
+  auto got = ganns->KnnBatch(queries, k);
+  ASSERT_TRUE(expected.ok() && got.ok());
+
+  uint64_t hits = 0, total = 0;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    std::set<uint32_t> truth;
+    for (const auto& nb : expected.value()[q]) truth.insert(nb.id);
+    // Count by distance (ties interchangeable): a hit is a returned
+    // distance <= the true k-th distance.
+    const float kth = expected.value()[q].back().dist;
+    for (const auto& nb : got.value()[q]) {
+      total++;
+      hits += (nb.dist <= kth + 1e-6f);
+    }
+  }
+  EXPECT_EQ(total, queries.size() * k);
+  EXPECT_GT(static_cast<double>(hits) / total, 0.7)
+      << "approximate recall too low";
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorDatasets, GannsRecallTest,
+                         ::testing::Values(DatasetId::kVector,
+                                           DatasetId::kTLoc,
+                                           DatasetId::kColor),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+TEST(GannsTest, ConstructionPoolsOverflowTightDevice) {
+  // Table 4's "/" on T-Loc: the NN-descent pools do not fit.
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 4000, 94);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  gpu::Device tight(gpu::DeviceOptions{
+      .memory_bytes = data.TotalBytes() + (64ull << 10)});
+  auto ganns = MakeMethod(MethodId::kGanns,
+                          MethodContext{&tight, UINT64_MAX, 42});
+  const Status s = ganns->Build(&data, metric.get());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kMemoryLimit);
+}
+
+TEST(GannsTest, IndexDwarfsGts) {
+  // Table 4: GANNS's graph is ~40x the GTS index.
+  const Dataset data = GenerateDataset(DatasetId::kVector, 1000, 95);
+  auto metric = MakeDatasetMetric(DatasetId::kVector);
+  gpu::Device device;
+  const MethodContext ctx{&device, UINT64_MAX, 42};
+  auto ganns = MakeMethod(MethodId::kGanns, ctx);
+  auto gts = MakeMethod(MethodId::kGts, ctx);
+  ASSERT_TRUE(ganns->Build(&data, metric.get()).ok());
+  ASSERT_TRUE(gts->Build(&data, metric.get()).ok());
+  EXPECT_GT(ganns->IndexBytes(), 5 * gts->IndexBytes());
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gts {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::MemoryLimit("too big");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kMemoryLimit);
+  EXPECT_EQ(s.message(), "too big");
+  EXPECT_EQ(s.ToString(), "MemoryLimit: too big");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kMemoryLimit,
+        StatusCode::kDeadlock, StatusCode::kUnsupported, StatusCode::kNotFound,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const float f = rng.UniformFloat(-2.0f, 5.0f);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 5.0f);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalHasReasonableMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NormalDouble();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIndependentStream) {
+  Rng a(9);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  ::unsetenv("GTS_TEST_ENV_VAR");
+  EXPECT_EQ(GetEnvInt64("GTS_TEST_ENV_VAR", 5), 5);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("GTS_TEST_ENV_VAR", 2.5), 2.5);
+  EXPECT_EQ(GetEnvString("GTS_TEST_ENV_VAR", "d"), "d");
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("GTS_TEST_ENV_VAR", "12", 1);
+  EXPECT_EQ(GetEnvInt64("GTS_TEST_ENV_VAR", 5), 12);
+  ::setenv("GTS_TEST_ENV_VAR", "1.75", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("GTS_TEST_ENV_VAR", 0.0), 1.75);
+  ::setenv("GTS_TEST_ENV_VAR", "abc", 1);
+  EXPECT_EQ(GetEnvInt64("GTS_TEST_ENV_VAR", 5), 5);
+  ::unsetenv("GTS_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,144 @@
+// Section-5.3 cost model: Chebyshev clamping, the three regimes of the
+// paper's Discussion (n << C prefers large Nc; n >> C prefers small Nc),
+// and the sampling estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+TEST(NotPrunedProbabilityTest, ClampsAndDecreasesWithRadius) {
+  EXPECT_DOUBLE_EQ(NotPrunedProbability(1.0, 0.0), 0.05);
+  EXPECT_DOUBLE_EQ(NotPrunedProbability(10.0, 1.0), 0.05);   // vacuous bound
+  EXPECT_DOUBLE_EQ(NotPrunedProbability(0.0, 1.0), 1.0);     // no variance
+  const double wide = NotPrunedProbability(1.0, 100.0);
+  const double narrow = NotPrunedProbability(1.0, 2.0);
+  EXPECT_GT(wide, narrow);
+  EXPECT_LE(wide, 1.0);
+  EXPECT_GE(narrow, 0.05);
+}
+
+TEST(CostModelTest, PositiveAndFinite) {
+  CostModelParams p;
+  p.n = 100000;
+  p.sigma = 1.0;
+  p.radius = 2.0;
+  p.dist_ops = 10.0;
+  for (const uint32_t nc : {2u, 10u, 20u, 80u, 320u}) {
+    const double ns = EstimateRangeQueryNs(p, nc);
+    EXPECT_GT(ns, 0.0);
+    EXPECT_TRUE(std::isfinite(ns));
+  }
+}
+
+TEST(CostModelTest, SmallDataPrefersLargeCapacity) {
+  // Regime (1): n << C — parallelism is free, fewer levels win.
+  CostModelParams p;
+  p.n = 1000;
+  p.lanes = 1 << 20;
+  p.sigma = 1.0;
+  p.radius = 3.0;
+  p.dist_ops = 100.0;
+  const uint32_t candidates[] = {10, 20, 40, 80, 160, 320};
+  const uint32_t best = SuggestNodeCapacity(p, candidates);
+  // Nc >= 40 already collapses 1000 objects into a height-1 tree — any
+  // such capacity minimizes level count, which is what this regime wants.
+  EXPECT_GE(best, 40u);
+}
+
+TEST(CostModelTest, LargeDataPrefersSmallCapacity) {
+  // Regime (2): n >> C — pruning power dominates.
+  CostModelParams p;
+  p.n = 100000000;
+  p.lanes = 64;
+  p.sigma = 1.0;
+  p.radius = 1.6;  // meaningful per-level pruning
+  p.dist_ops = 100.0;
+  const uint32_t candidates[] = {10, 20, 40, 80, 160, 320};
+  const uint32_t best = SuggestNodeCapacity(p, candidates);
+  EXPECT_LE(best, 20u);
+}
+
+TEST(CostModelTest, CostGrowsWithData) {
+  CostModelParams p;
+  p.sigma = 1.0;
+  p.radius = 2.0;
+  p.dist_ops = 10.0;
+  p.n = 10000;
+  const double small = EstimateRangeQueryNs(p, 20);
+  p.n = 10000000;
+  const double large = EstimateRangeQueryNs(p, 20);
+  EXPECT_GT(large, small);
+}
+
+TEST(CostModelTest, BetterPruningLowersCost) {
+  CostModelParams p;
+  p.n = 1000000;
+  p.dist_ops = 50.0;
+  p.sigma = 1.0;
+  p.radius = 1.5;  // strong pruning
+  const double strong = EstimateRangeQueryNs(p, 20);
+  p.radius = 100.0;  // weak pruning (keeps nearly everything)... inverted:
+  const double weak = EstimateRangeQueryNs(p, 20);
+  // Larger radius keeps more candidates -> more work.
+  EXPECT_GT(weak, strong);
+}
+
+TEST(SuggestNodeCapacityTest, EmptyCandidatesFallsBack) {
+  CostModelParams p;
+  p.n = 1000;
+  EXPECT_EQ(SuggestNodeCapacity(p, {}), 20u);
+}
+
+TEST(EstimateSigmaTest, MatchesDispersion) {
+  // Tight cluster vs spread-out data.
+  Dataset tight = Dataset::FloatVectors(2);
+  Dataset spread = Dataset::FloatVectors(2);
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.NormalDouble());
+    const float b = static_cast<float>(rng.NormalDouble());
+    tight.AppendVector(std::vector<float>{a * 0.01f, b * 0.01f});
+    spread.AppendVector(std::vector<float>{a * 50.0f, b * 50.0f});
+  }
+  auto metric = MakeMetric(MetricKind::kL2);
+  const double s_tight = EstimateSigma(tight, *metric, 200, 11);
+  const double s_spread = EstimateSigma(spread, *metric, 200, 11);
+  EXPECT_LT(s_tight, s_spread / 100.0);
+  EXPECT_EQ(EstimateSigma(Dataset::FloatVectors(2), *metric, 10, 1), 0.0);
+}
+
+TEST(EstimateDistanceOpsTest, ReflectsMetricCost) {
+  const Dataset color = GenerateDataset(DatasetId::kColor, 100, 3);
+  const Dataset tloc = GenerateDataset(DatasetId::kTLoc, 100, 3);
+  auto l1 = MakeMetric(MetricKind::kL1);
+  auto l2 = MakeMetric(MetricKind::kL2);
+  EXPECT_DOUBLE_EQ(EstimateDistanceOps(color, *l1, 50, 5),
+                   282.0 + kDistanceCallOps);
+  EXPECT_DOUBLE_EQ(EstimateDistanceOps(tloc, *l2, 50, 5),
+                   2.0 + kDistanceCallOps);
+}
+
+TEST(CostModelIntegrationTest, SuggestionIsNearMeasuredOptimum) {
+  // The model's suggested Nc should be within the good region of the
+  // measured sweep (Fig. 6's finding: small capacities win at scale).
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 4000, 5);
+  auto metric = MakeMetric(MetricKind::kL2);
+  CostModelParams p;
+  p.n = data.size();
+  p.lanes = 4096;
+  p.sigma = EstimateSigma(data, *metric, 200, 11);
+  p.radius = 1.0;
+  p.dist_ops = EstimateDistanceOps(data, *metric, 50, 5);
+  const uint32_t candidates[] = {10, 20, 40, 80, 160, 320};
+  const uint32_t best = SuggestNodeCapacity(p, candidates);
+  EXPECT_GE(best, 10u);
+  EXPECT_LE(best, 320u);
+}
+
+}  // namespace
+}  // namespace gts

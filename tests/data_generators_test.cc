@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <set>
+
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+class GeneratorTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(GeneratorTest, Deterministic) {
+  const DatasetId id = GetParam();
+  const Dataset a = GenerateDataset(id, 100, 7);
+  const Dataset b = GenerateDataset(id, 100, 7);
+  const Dataset c = GenerateDataset(id, 100, 8);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 100u);
+  auto metric = MakeDatasetMetric(id);
+  bool any_diff_seed = false;
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(metric->Distance(a, i, b, i), 0.0f) << i;
+    any_diff_seed |= metric->Distance(a, i, c, i) > 0.0f;
+  }
+  EXPECT_TRUE(any_diff_seed) << "different seeds must differ";
+}
+
+TEST_P(GeneratorTest, MatchesSpec) {
+  const DatasetId id = GetParam();
+  const DatasetSpec& spec = GetDatasetSpec(id);
+  EXPECT_EQ(spec.id, id);
+  const Dataset d = GenerateDataset(id, 50, 3);
+  auto metric = MakeDatasetMetric(id);
+  EXPECT_TRUE(metric->SupportsKind(d.kind()));
+  EXPECT_EQ(metric->kind(), spec.metric);
+  if (d.kind() == DataKind::kFloatVector) {
+    EXPECT_EQ(d.dim(), spec.dimensionality);
+  } else {
+    for (uint32_t i = 0; i < d.size(); ++i) {
+      EXPECT_GE(d.String(i).size(), 1u);
+      EXPECT_LE(d.String(i).size(), spec.dimensionality + 10);
+    }
+  }
+  EXPECT_GE(spec.full_cardinality, spec.default_cardinality);
+  EXPECT_GT(spec.paper_cardinality, spec.default_cardinality);
+}
+
+TEST_P(GeneratorTest, HasClusterStructure) {
+  // Clustered data: the median nearest-neighbour distance must be well
+  // below the median random-pair distance.
+  const DatasetId id = GetParam();
+  const uint32_t n = id == DatasetId::kDna ? 80 : 300;
+  const Dataset d = GenerateDataset(id, n, 5);
+  auto metric = MakeDatasetMetric(id);
+  std::vector<float> nn, pair;
+  for (uint32_t i = 0; i < 30; ++i) {
+    float best = std::numeric_limits<float>::infinity();
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      best = std::min(best, metric->Distance(d, i, j));
+      if (j < 30 && j != i) pair.push_back(metric->Distance(d, i, j));
+    }
+    nn.push_back(best);
+  }
+  std::sort(nn.begin(), nn.end());
+  std::sort(pair.begin(), pair.end());
+  EXPECT_LT(nn[nn.size() / 2], pair[pair.size() / 2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+TEST(DistinctFractionTest, InjectsDuplicates) {
+  const Dataset d =
+      GenerateWithDistinctFraction(DatasetId::kTLoc, 1000, 0.2, 11);
+  ASSERT_EQ(d.size(), 1000u);
+  std::set<std::pair<float, float>> distinct;
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    distinct.emplace(d.Vector(i)[0], d.Vector(i)[1]);
+  }
+  EXPECT_LE(distinct.size(), 200u);
+  EXPECT_GT(distinct.size(), 150u);
+}
+
+TEST(DistinctFractionTest, FullFractionHasNoForcedDuplicates) {
+  const Dataset d =
+      GenerateWithDistinctFraction(DatasetId::kTLoc, 500, 1.0, 11);
+  EXPECT_EQ(d.size(), 500u);
+  std::set<std::pair<float, float>> distinct;
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    distinct.emplace(d.Vector(i)[0], d.Vector(i)[1]);
+  }
+  EXPECT_GT(distinct.size(), 490u);
+}
+
+TEST(GeneratorScaleTest, DnaStringsHaveUniformishLength) {
+  const Dataset d = GenerateDataset(DatasetId::kDna, 100, 9);
+  const uint32_t len = GetDatasetSpec(DatasetId::kDna).dimensionality;
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.String(i).size(), len - len / 4);
+    EXPECT_LE(d.String(i).size(), len + len / 4);
+    for (const char c : d.String(i)) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+    }
+  }
+}
+
+TEST(GeneratorScaleTest, ColorHistogramsAreNormalized) {
+  const Dataset d = GenerateDataset(DatasetId::kColor, 50, 9);
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    float sum = 0.0f;
+    for (const float v : d.Vector(i)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+
+namespace gts::gpu {
+namespace {
+
+TEST(SimClockTest, KernelChargeFormula) {
+  SimClock clock(ClockConfig{.lanes = 4, .ns_per_op = 2.0,
+                             .launch_overhead_ns = 100.0});
+  // 10 items on 4 lanes = 3 waves; 20 ops total = 2 ops/item.
+  clock.ChargeKernel(10, 20);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), 3 * 2.0 * 2.0 + 100.0);
+  EXPECT_EQ(clock.kernels_launched(), 1u);
+}
+
+TEST(SimClockTest, EmptyKernelIsFree) {
+  SimClock clock(ClockConfig{});
+  clock.ChargeKernel(0, 0);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), 0.0);
+  EXPECT_EQ(clock.kernels_launched(), 0u);
+}
+
+TEST(SimClockTest, HostConfigHasNoLaunchOverhead) {
+  SimClock clock(HostClockConfig());
+  clock.ChargeKernel(1, 100);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), 100 * kCpuNsPerOp);
+}
+
+TEST(SimClockTest, HostChargesTotalOpsRegardlessOfItems) {
+  SimClock a(HostClockConfig()), b(HostClockConfig());
+  a.ChargeKernel(1, 1000);
+  b.ChargeKernel(250, 1000);
+  EXPECT_DOUBLE_EQ(a.ElapsedNs(), b.ElapsedNs());
+}
+
+TEST(SimClockTest, GpuParallelismBeatsCpuOnLargeKernels) {
+  SimClock gpu(ClockConfig{});
+  SimClock cpu(HostClockConfig());
+  const uint64_t items = 1 << 20;
+  gpu.ChargeKernel(items, items * 10);
+  cpu.ChargeKernel(items, items * 10);
+  // Full-device advantage lands in the paper's "up to two orders" band.
+  EXPECT_LT(gpu.ElapsedNs(), cpu.ElapsedNs() / 50.0);
+}
+
+TEST(SimClockTest, CpuWinsOnTinyKernels) {
+  SimClock gpu(ClockConfig{});
+  SimClock cpu(HostClockConfig());
+  gpu.ChargeKernel(1, 4);
+  cpu.ChargeKernel(1, 4);
+  EXPECT_GT(gpu.ElapsedNs(), cpu.ElapsedNs());  // launch overhead dominates
+}
+
+TEST(SimClockTest, SortAndScanAndReset) {
+  SimClock clock(ClockConfig{});
+  clock.ChargeSort(1 << 16);
+  clock.ChargeScan(1 << 16);
+  EXPECT_GT(clock.ElapsedNs(), 0.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), 0.0);
+  EXPECT_EQ(clock.kernels_launched(), 0u);
+}
+
+TEST(DeviceTest, TracksAllocations) {
+  Device dev(DeviceOptions{.memory_bytes = 1000});
+  EXPECT_TRUE(dev.Allocate(400, "a").ok());
+  EXPECT_EQ(dev.allocated_bytes(), 400u);
+  EXPECT_TRUE(dev.Allocate(600, "b").ok());
+  EXPECT_EQ(dev.allocated_bytes(), 1000u);
+  EXPECT_EQ(dev.peak_allocated_bytes(), 1000u);
+  dev.Free(500);
+  EXPECT_EQ(dev.allocated_bytes(), 500u);
+  EXPECT_EQ(dev.peak_allocated_bytes(), 1000u);
+}
+
+TEST(DeviceTest, RejectsOverBudget) {
+  Device dev(DeviceOptions{.memory_bytes = 100});
+  EXPECT_TRUE(dev.Allocate(60, "a").ok());
+  const Status s = dev.Allocate(41, "b");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kMemoryLimit);
+  EXPECT_EQ(dev.allocated_bytes(), 60u);  // failed alloc leaves no residue
+}
+
+TEST(DeviceTest, BudgetCanGrow) {
+  Device dev(DeviceOptions{.memory_bytes = 100});
+  EXPECT_FALSE(dev.Allocate(200, "a").ok());
+  dev.set_memory_bytes(400);
+  EXPECT_TRUE(dev.Allocate(200, "a").ok());
+}
+
+TEST(DeviceBufferTest, RaiiFreesOnDestruction) {
+  Device dev(DeviceOptions{.memory_bytes = 1024});
+  {
+    auto buf = DeviceBuffer<float>::Create(&dev, 128, "buf");
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(dev.allocated_bytes(), 512u);
+    buf.value()[0] = 1.5f;
+    EXPECT_FLOAT_EQ(buf.value()[0], 1.5f);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceBufferTest, CreateFailsCleanly) {
+  Device dev(DeviceOptions{.memory_bytes = 100});
+  auto buf = DeviceBuffer<double>::Create(&dev, 1000, "big");
+  EXPECT_FALSE(buf.ok());
+  EXPECT_EQ(buf.status().code(), StatusCode::kMemoryLimit);
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  Device dev(DeviceOptions{.memory_bytes = 1024});
+  auto a = DeviceBuffer<uint32_t>::Create(&dev, 64, "a");
+  ASSERT_TRUE(a.ok());
+  DeviceBuffer<uint32_t> b = std::move(a).value();
+  EXPECT_EQ(dev.allocated_bytes(), 256u);
+  {
+    DeviceBuffer<uint32_t> c(std::move(b));
+    EXPECT_EQ(dev.allocated_bytes(), 256u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gts::gpu

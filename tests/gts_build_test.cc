@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/gts.h"
+#include "core/node.h"
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+TEST(NodeMathTest, ChildIdsFollowPaperEquation) {
+  // Fig. 3: Nc = 2, children of N1 are N2/N3; second child of N3 is N7.
+  EXPECT_EQ(ChildNodeId(1, 0, 2), 2u);
+  EXPECT_EQ(ChildNodeId(1, 1, 2), 3u);
+  EXPECT_EQ(ChildNodeId(3, 1, 2), 7u);
+  EXPECT_EQ(ParentNodeId(7, 2), 3u);
+  EXPECT_EQ(ParentNodeId(2, 2), 1u);
+}
+
+TEST(NodeMathTest, ChildParentRoundTrip) {
+  for (const uint32_t nc : {2u, 3u, 10u, 20u}) {
+    for (uint64_t id = 1; id < 200; ++id) {
+      for (uint32_t j = 0; j < nc; ++j) {
+        EXPECT_EQ(ParentNodeId(ChildNodeId(id, j, nc), nc), id);
+      }
+    }
+  }
+}
+
+TEST(NodeMathTest, TreeHeightMatchesPaperExample) {
+  // n = 10, Nc = 2 -> ceil(log2(11)) - 1 = 3 levels (Fig. 3).
+  EXPECT_EQ(TreeHeight(10, 2), 3u);
+  EXPECT_EQ(TotalNodes(3, 2), 7u);
+  EXPECT_EQ(TreeHeight(0, 2), 1u);
+  EXPECT_EQ(TreeHeight(1, 2), 1u);
+  EXPECT_EQ(TreeHeight(3, 2), 1u);  // ceil(log2(4)) - 1 = 1
+  EXPECT_EQ(TreeHeight(4, 2), 2u);
+  EXPECT_EQ(TreeHeight(1000, 10), 3u);   // ceil(log10(1001)) - 1 = 3
+  EXPECT_EQ(TreeHeight(10000, 10), 4u);  // ceil(log10(10001)) - 1 = 4
+}
+
+TEST(NodeMathTest, LevelLayout) {
+  EXPECT_EQ(LevelStart(1, 2), 1u);
+  EXPECT_EQ(LevelStart(2, 2), 2u);
+  EXPECT_EQ(LevelStart(3, 2), 4u);
+  EXPECT_EQ(LevelCount(3, 2), 4u);
+  EXPECT_EQ(LevelStart(2, 20), 2u);
+  EXPECT_EQ(LevelStart(3, 20), 22u);
+  EXPECT_EQ(LevelOfNode(1, 2), 1u);
+  EXPECT_EQ(LevelOfNode(3, 2), 2u);
+  EXPECT_EQ(LevelOfNode(7, 2), 3u);
+}
+
+class GtsBuildTest : public ::testing::Test {
+ protected:
+  gpu::Device device_;
+  std::unique_ptr<DistanceMetric> metric_ = MakeMetric(MetricKind::kL2);
+};
+
+TEST_F(GtsBuildTest, BuildsPaperScaleExample) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 10, 1);
+  GtsOptions options;
+  options.node_capacity = 2;
+  auto index = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  GtsIndex& idx = *index.value();
+  EXPECT_EQ(idx.height(), 3u);
+  EXPECT_EQ(idx.num_nodes(), 7u);
+  EXPECT_EQ(idx.node(1).size, 10u);
+  // Level 2 splits 10 objects 5/5; level 3 leaves are 2/3/2/3 (Fig. 3).
+  EXPECT_EQ(idx.node(2).size, 5u);
+  EXPECT_EQ(idx.node(3).size, 5u);
+  EXPECT_EQ(idx.node(4).size, 2u);
+  EXPECT_EQ(idx.node(5).size, 3u);
+  EXPECT_EQ(idx.node(6).size, 2u);
+  EXPECT_EQ(idx.node(7).size, 3u);
+}
+
+TEST_F(GtsBuildTest, EmptyDataset) {
+  auto index = GtsIndex::Build(Dataset::FloatVectors(2), metric_.get(),
+                               &device_, GtsOptions{});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value()->height(), 1u);
+  EXPECT_EQ(index.value()->alive_size(), 0u);
+}
+
+TEST_F(GtsBuildTest, SingleObject) {
+  Dataset data = Dataset::FloatVectors(2);
+  data.AppendVector(std::vector<float>{1.0f, 2.0f});
+  auto index =
+      GtsIndex::Build(std::move(data), metric_.get(), &device_, GtsOptions{});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value()->height(), 1u);
+  EXPECT_EQ(index.value()->node(1).size, 1u);
+}
+
+TEST_F(GtsBuildTest, RejectsBadOptions) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 10, 1);
+  GtsOptions options;
+  options.node_capacity = 1;
+  auto index = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               options);
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GtsBuildTest, RejectsMismatchedMetric) {
+  auto edit = MakeMetric(MetricKind::kEdit);
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 10, 1);
+  auto index = GtsIndex::Build(std::move(data), edit.get(), &device_,
+                               GtsOptions{});
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(GtsBuildTest, DeterministicAcrossRebuilds) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 300, 5);
+  GtsOptions options;
+  options.node_capacity = 4;
+  auto a = GtsIndex::Build(data.Slice([&] {
+             std::vector<uint32_t> ids(data.size());
+             std::iota(ids.begin(), ids.end(), 0u);
+             return ids;
+           }()),
+           metric_.get(), &device_, options);
+  auto b = GtsIndex::Build(std::move(data), metric_.get(), &device_, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value()->num_nodes(), b.value()->num_nodes());
+  for (uint64_t i = 1; i <= a.value()->num_nodes(); ++i) {
+    EXPECT_EQ(a.value()->node(i).pivot, b.value()->node(i).pivot);
+    EXPECT_EQ(a.value()->node(i).size, b.value()->node(i).size);
+  }
+}
+
+TEST_F(GtsBuildTest, ChargesDeviceClockAndMemory) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 500, 5);
+  device_.clock().Reset();
+  auto index =
+      GtsIndex::Build(std::move(data), metric_.get(), &device_, GtsOptions{});
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(device_.clock().ElapsedSeconds(), 0.0);
+  EXPECT_GT(device_.clock().kernels_launched(), 0u);
+  EXPECT_GT(device_.allocated_bytes(), 0u);
+  const uint64_t resident = index.value()->DeviceResidentBytes();
+  EXPECT_EQ(device_.allocated_bytes(), resident);
+  index.value().reset();
+  EXPECT_EQ(device_.allocated_bytes(), 0u);  // destructor releases
+}
+
+TEST_F(GtsBuildTest, BuildFailsWhenDeviceTooSmall) {
+  gpu::Device tiny(gpu::DeviceOptions{.memory_bytes = 1024});
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 5000, 5);
+  auto index =
+      GtsIndex::Build(std::move(data), metric_.get(), &tiny, GtsOptions{});
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kMemoryLimit);
+}
+
+}  // namespace
+}  // namespace gts

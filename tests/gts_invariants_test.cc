@@ -1,0 +1,171 @@
+// Structural invariants of the built index, parameterized over dataset
+// families and node capacities: the table list is a permutation of the
+// objects, leaves partition it contiguously, every node's ring bounds are
+// exactly the min/max distance of its objects to the parent pivot, and
+// every pivot is an object of its own node.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/gts.h"
+#include "core/node.h"
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+struct Param {
+  DatasetId dataset;
+  uint32_t nc;
+};
+
+class GtsInvariantsTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GtsInvariantsTest, StructuralInvariants) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 120 : 500;
+  Dataset data = GenerateDataset(p.dataset, n, 21);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  GtsOptions options;
+  options.node_capacity = p.nc;
+  auto built = GtsIndex::Build(std::move(data), metric.get(), &device,
+                               options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const GtsIndex& idx = *built.value();
+
+  // Table list is a permutation of all object ids.
+  const auto objects = idx.table_objects();
+  ASSERT_EQ(objects.size(), n);
+  std::set<uint32_t> seen(objects.begin(), objects.end());
+  EXPECT_EQ(seen.size(), n);
+
+  const uint32_t nc = idx.node_capacity();
+  const uint32_t h = idx.height();
+
+  // Every level partitions [0, n) contiguously, in id order.
+  for (uint32_t level = 1; level <= h; ++level) {
+    uint64_t covered = 0;
+    const uint64_t start = LevelStart(level, nc);
+    for (uint64_t i = 0; i < LevelCount(level, nc); ++i) {
+      const GtsNode& node = idx.node(start + i);
+      if (node.size == 0) continue;
+      EXPECT_EQ(node.pos, covered) << "level " << level << " node " << i;
+      covered += node.size;
+    }
+    EXPECT_EQ(covered, n) << "level " << level;
+  }
+
+  // Children exactly tile their parent.
+  for (uint32_t level = 1; level + 1 <= h; ++level) {
+    const uint64_t start = LevelStart(level, nc);
+    for (uint64_t i = 0; i < LevelCount(level, nc); ++i) {
+      const GtsNode& parent = idx.node(start + i);
+      uint64_t child_total = 0;
+      for (uint32_t j = 0; j < nc; ++j) {
+        const GtsNode& child = idx.node(ChildNodeId(start + i, j, nc));
+        child_total += child.size;
+        if (child.size > 0) {
+          EXPECT_GE(child.pos, parent.pos);
+          EXPECT_LE(child.pos + child.size, parent.pos + parent.size);
+        }
+      }
+      EXPECT_EQ(child_total, parent.size);
+    }
+  }
+
+  // Internal pivots are objects of their own node; rings are exact.
+  for (uint32_t level = 1; level + 1 <= h; ++level) {
+    const uint64_t start = LevelStart(level, nc);
+    for (uint64_t i = 0; i < LevelCount(level, nc); ++i) {
+      const uint64_t id = start + i;
+      const GtsNode& node = idx.node(id);
+      if (node.size == 0) continue;
+      ASSERT_NE(node.pivot, kInvalidId);
+      bool pivot_inside = false;
+      for (uint32_t j = 0; j < node.size; ++j) {
+        pivot_inside |= (objects[node.pos + j] == node.pivot);
+      }
+      EXPECT_TRUE(pivot_inside) << "node " << id;
+
+      for (uint32_t j = 0; j < nc; ++j) {
+        const GtsNode& child = idx.node(ChildNodeId(id, j, nc));
+        if (child.size == 0) continue;
+        float lo = std::numeric_limits<float>::infinity(), hi = 0.0f;
+        for (uint32_t t = 0; t < child.size; ++t) {
+          const float d = metric->Distance(idx.data(), objects[child.pos + t],
+                                           node.pivot);
+          lo = std::min(lo, d);
+          hi = std::max(hi, d);
+        }
+        EXPECT_FLOAT_EQ(child.min_dis, lo);
+        EXPECT_FLOAT_EQ(child.max_dis, hi);
+      }
+    }
+  }
+
+  // Leaf table distances are the distances to the leaf parent's pivot, and
+  // ascending within each leaf.
+  if (h >= 2) {
+    const uint64_t start = LevelStart(h, nc);
+    const auto dis = idx.table_dis();
+    for (uint64_t i = 0; i < LevelCount(h, nc); ++i) {
+      const GtsNode& leaf = idx.node(start + i);
+      if (leaf.size == 0) continue;
+      const GtsNode& parent = idx.node(ParentNodeId(start + i, nc));
+      for (uint32_t t = 0; t < leaf.size; ++t) {
+        const float expect = metric->Distance(
+            idx.data(), objects[leaf.pos + t], parent.pivot);
+        EXPECT_FLOAT_EQ(dis[leaf.pos + t], expect);
+        if (t > 0) EXPECT_GE(dis[leaf.pos + t], dis[leaf.pos + t - 1]);
+      }
+    }
+  }
+}
+
+TEST_P(GtsInvariantsTest, BalancedLeaves) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 120 : 500;
+  Dataset data = GenerateDataset(p.dataset, n, 22);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+  GtsOptions options;
+  options.node_capacity = p.nc;
+  auto built = GtsIndex::Build(std::move(data), metric.get(), &device,
+                               options);
+  ASSERT_TRUE(built.ok());
+  const GtsIndex& idx = *built.value();
+  const uint32_t h = idx.height();
+  if (h < 2) GTEST_SKIP() << "single-level tree";
+  // Even partitioning: leaf sizes differ by at most Nc (floor split with
+  // the last child absorbing remainders at each of h-1 levels).
+  uint32_t lo = n, hi = 0;
+  const uint64_t start = LevelStart(h, idx.node_capacity());
+  for (uint64_t i = 0; i < LevelCount(h, idx.node_capacity()); ++i) {
+    const GtsNode& leaf = idx.node(start + i);
+    lo = std::min(lo, leaf.size);
+    hi = std::max(hi, leaf.size);
+  }
+  EXPECT_GT(lo, 0u) << "balanced trees have no empty leaves";
+  EXPECT_LE(hi - lo, idx.node_capacity() * (h - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndCapacities, GtsInvariantsTest,
+    ::testing::Values(Param{DatasetId::kWords, 2}, Param{DatasetId::kWords, 10},
+                      Param{DatasetId::kTLoc, 2}, Param{DatasetId::kTLoc, 4},
+                      Param{DatasetId::kTLoc, 20}, Param{DatasetId::kTLoc, 80},
+                      Param{DatasetId::kVector, 10},
+                      Param{DatasetId::kDna, 4}, Param{DatasetId::kColor, 20},
+                      Param{DatasetId::kColor, 3}),
+    [](const auto& info) {
+      return SafeName(std::string(GetDatasetSpec(info.param.dataset).name) + "_Nc" +
+             std::to_string(info.param.nc));
+    });
+
+}  // namespace
+}  // namespace gts

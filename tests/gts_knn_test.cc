@@ -1,0 +1,158 @@
+// Exactness of the batched metric kNN query (Algorithm 5) against brute
+// force. Tie-safe comparison: the returned distance multiset must equal the
+// reference distance multiset (tied neighbour sets are interchangeable).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <numeric>
+
+#include "baselines/brute_force.h"
+#include "core/gts.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+void ExpectSameDistances(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& expected,
+                         uint32_t query) {
+  ASSERT_EQ(got.size(), expected.size()) << "query " << query;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_FLOAT_EQ(got[i].dist, expected[i].dist)
+        << "query " << query << " rank " << i;
+  }
+}
+
+struct Param {
+  DatasetId dataset;
+  uint32_t nc;
+  uint32_t k;
+};
+
+class GtsKnnTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GtsKnnTest, MatchesBruteForce) {
+  const Param p = GetParam();
+  const uint32_t n = p.dataset == DatasetId::kDna ? 150 : 600;
+  Dataset data = GenerateDataset(p.dataset, n, 41);
+  auto metric = MakeDatasetMetric(p.dataset);
+  gpu::Device device;
+
+  const Dataset queries = SampleQueries(data, 16, 13);
+  BruteForce ref(MethodContext{&device, UINT64_MAX, 42});
+  ASSERT_TRUE(ref.Build(&data, metric.get()).ok());
+  auto expected = ref.KnnBatch(queries, p.k);
+  ASSERT_TRUE(expected.ok());
+
+  GtsOptions options;
+  options.node_capacity = p.nc;
+  auto built = GtsIndex::Build(std::move(data), metric.get(), &device,
+                               options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto got = built.value()->KnnQueryBatch(queries, p.k);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ExpectSameDistances(got.value()[q], expected.value()[q], q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GtsKnnTest,
+    ::testing::Values(Param{DatasetId::kWords, 4, 1},
+                      Param{DatasetId::kWords, 20, 8},
+                      Param{DatasetId::kTLoc, 2, 4},
+                      Param{DatasetId::kTLoc, 20, 1},
+                      Param{DatasetId::kTLoc, 20, 16},
+                      Param{DatasetId::kTLoc, 80, 32},
+                      Param{DatasetId::kVector, 10, 8},
+                      Param{DatasetId::kDna, 4, 4},
+                      Param{DatasetId::kColor, 20, 8},
+                      Param{DatasetId::kColor, 5, 32}),
+    [](const auto& info) {
+      return SafeName(std::string(GetDatasetSpec(info.param.dataset).name) + "_Nc" +
+             std::to_string(info.param.nc) + "_k" +
+             std::to_string(info.param.k));
+    });
+
+class GtsKnnEdgeTest : public ::testing::Test {
+ protected:
+  gpu::Device device_;
+  std::unique_ptr<DistanceMetric> metric_ = MakeMetric(MetricKind::kL2);
+};
+
+TEST_F(GtsKnnEdgeTest, KZeroReturnsEmpty) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 100, 5);
+  auto built = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               GtsOptions{});
+  ASSERT_TRUE(built.ok());
+  const Dataset queries = SampleQueries(built.value()->data(), 4, 3);
+  auto got = built.value()->KnnQueryBatch(queries, 0);
+  ASSERT_TRUE(got.ok());
+  for (const auto& res : got.value()) EXPECT_TRUE(res.empty());
+}
+
+TEST_F(GtsKnnEdgeTest, KLargerThanDatasetReturnsAll) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 60, 5);
+  auto built = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               GtsOptions{});
+  ASSERT_TRUE(built.ok());
+  const Dataset queries = SampleQueries(built.value()->data(), 4, 3);
+  auto got = built.value()->KnnQueryBatch(queries, 500);
+  ASSERT_TRUE(got.ok());
+  for (const auto& res : got.value()) {
+    EXPECT_EQ(res.size(), 60u);
+    for (size_t i = 1; i < res.size(); ++i) {
+      EXPECT_GE(res[i].dist, res[i - 1].dist);  // ascending
+    }
+  }
+}
+
+TEST_F(GtsKnnEdgeTest, SelfQueryFindsSelfFirst) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 300, 5);
+  auto built = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               GtsOptions{});
+  ASSERT_TRUE(built.ok());
+  const Dataset queries = SampleQueries(built.value()->data(), 10, 3);
+  auto got = built.value()->KnnQueryBatch(queries, 3);
+  ASSERT_TRUE(got.ok());
+  for (const auto& res : got.value()) {
+    ASSERT_EQ(res.size(), 3u);
+    EXPECT_FLOAT_EQ(res[0].dist, 0.0f);
+  }
+}
+
+TEST_F(GtsKnnEdgeTest, DuplicateHeavyDataIsExact) {
+  Dataset data = GenerateWithDistinctFraction(DatasetId::kTLoc, 500, 0.2, 9);
+  gpu::Device device;
+  BruteForce ref(MethodContext{&device, UINT64_MAX, 42});
+  ASSERT_TRUE(ref.Build(&data, metric_.get()).ok());
+  const Dataset queries = SampleQueries(data, 12, 4);
+  auto expected = ref.KnnBatch(queries, 8);
+  ASSERT_TRUE(expected.ok());
+  auto built = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               GtsOptions{});
+  ASSERT_TRUE(built.ok());
+  auto got = built.value()->KnnQueryBatch(queries, 8);
+  ASSERT_TRUE(got.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ExpectSameDistances(got.value()[q], expected.value()[q], q);
+  }
+}
+
+TEST_F(GtsKnnEdgeTest, PruningActuallyPrunes) {
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 5);
+  auto built = GtsIndex::Build(std::move(data), metric_.get(), &device_,
+                               GtsOptions{});
+  ASSERT_TRUE(built.ok());
+  GtsIndex& idx = *built.value();
+  const Dataset queries = SampleQueries(idx.data(), 16, 3);
+  idx.ResetQueryStats();
+  ASSERT_TRUE(idx.KnnQueryBatch(queries, 4).ok());
+  EXPECT_LT(idx.query_stats().distance_computations, 16u * 2000u / 3u);
+}
+
+}  // namespace
+}  // namespace gts

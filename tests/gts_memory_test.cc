@@ -1,0 +1,116 @@
+// The two-stage memory-bounded search (paper §5.1): under tight device
+// budgets the frontier is split into query groups processed sequentially —
+// results stay exact, group counts rise as memory shrinks (Fig. 8's
+// mechanism), and GTS degrades gracefully where fixed-buffer methods
+// deadlock.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/brute_force.h"
+#include "core/gts.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+class GtsMemoryTest : public ::testing::Test {
+ protected:
+  void BuildWithBudget(uint64_t budget_bytes) {
+    index_.reset();  // must release its device reservation first
+    device_ = std::make_unique<gpu::Device>(
+        gpu::DeviceOptions{.memory_bytes = budget_bytes});
+    Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 61);
+    GtsOptions options;
+    options.node_capacity = 10;
+    auto built =
+        GtsIndex::Build(std::move(data), metric_.get(), device_.get(),
+                        options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(built).value();
+  }
+
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<DistanceMetric> metric_ = MakeMetric(MetricKind::kL2);
+  std::unique_ptr<GtsIndex> index_;
+};
+
+TEST_F(GtsMemoryTest, TightBudgetForcesGroupingButStaysExact) {
+  // Generous run first for the reference results.
+  BuildWithBudget(256ull << 20);
+  const Dataset queries = SampleQueries(index_->data(), 64, 3);
+  const float r = CalibrateRadius(index_->data(), *metric_, 0.01, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+  auto reference = index_->RangeQueryBatch(queries, radii);
+  ASSERT_TRUE(reference.ok());
+  index_->ResetQueryStats();
+  ASSERT_TRUE(index_->RangeQueryBatch(queries, radii).ok());
+  const uint64_t groups_generous = index_->query_stats().query_groups;
+
+  // Tight budget: just above the index residency.
+  const uint64_t resident = index_->DeviceResidentBytes();
+  BuildWithBudget(resident + 24 * 1024);
+  index_->ResetQueryStats();
+  auto tight = index_->RangeQueryBatch(queries, radii);
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  const uint64_t groups_tight = index_->query_stats().query_groups;
+
+  EXPECT_GT(groups_tight, groups_generous);
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(tight.value()[q], reference.value()[q]) << "query " << q;
+  }
+}
+
+TEST_F(GtsMemoryTest, KnnGroupingStaysExact) {
+  BuildWithBudget(256ull << 20);
+  const Dataset queries = SampleQueries(index_->data(), 64, 3);
+  auto reference = index_->KnnQueryBatch(queries, 8);
+  ASSERT_TRUE(reference.ok());
+
+  const uint64_t resident = index_->DeviceResidentBytes();
+  BuildWithBudget(resident + 24 * 1024);
+  auto tight = index_->KnnQueryBatch(queries, 8);
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(tight.value()[q].size(), reference.value()[q].size());
+    for (size_t i = 0; i < tight.value()[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(tight.value()[q][i].dist, reference.value()[q][i].dist);
+    }
+  }
+}
+
+TEST_F(GtsMemoryTest, GroupCountGrowsAsMemoryShrinks) {
+  // Fig. 8's mechanism: less memory -> more sequential groups.
+  BuildWithBudget(256ull << 20);
+  const uint64_t resident = index_->DeviceResidentBytes();
+  const Dataset queries = SampleQueries(index_->data(), 128, 3);
+  const float r = CalibrateRadius(index_->data(), *metric_, 0.01, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+
+  std::vector<uint64_t> groups;
+  for (const uint64_t slack : {1024ull << 10, 64ull << 10, 16ull << 10}) {
+    BuildWithBudget(resident + slack);
+    index_->ResetQueryStats();
+    auto res = index_->RangeQueryBatch(queries, radii);
+    ASSERT_TRUE(res.ok()) << "slack " << slack;
+    groups.push_back(index_->query_stats().query_groups);
+  }
+  EXPECT_LE(groups[0], groups[1]);
+  EXPECT_LE(groups[1], groups[2]);
+  EXPECT_LT(groups[0], groups[2]);
+}
+
+TEST_F(GtsMemoryTest, FrontierAllocationsAreReleased) {
+  BuildWithBudget(256ull << 20);
+  const Dataset queries = SampleQueries(index_->data(), 32, 3);
+  const float r = CalibrateRadius(index_->data(), *metric_, 0.01, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+  const uint64_t before = device_->allocated_bytes();
+  ASSERT_TRUE(index_->RangeQueryBatch(queries, radii).ok());
+  EXPECT_EQ(device_->allocated_bytes(), before);  // no leaks
+  EXPECT_GT(device_->peak_allocated_bytes(), before);  // but real usage
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,128 @@
+// End-to-end: the benchmark harness drives every method on every dataset
+// family exactly as the paper's evaluation does — build, batched MRQ and
+// MkNNQ (validated against brute force), streaming and batch update cycles,
+// clocks and storage reporting.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "baselines/brute_force.h"
+#include "bench/harness.h"
+
+namespace gts {
+namespace {
+
+class IntegrationTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(IntegrationTest, FullPipelineAllMethods) {
+  const DatasetId id = GetParam();
+  // Small override keeps the suite fast; budgets stay dataset-scaled.
+  const uint32_t n = id == DatasetId::kDna ? 150 : 600;
+  bench::BenchEnv env = bench::MakeEnv(id, n);
+  const MethodContext ctx = env.Context();
+
+  const Dataset queries = SampleQueries(env.data, 16, 5);
+  const float r = bench::RadiusForStep(env, 8);
+  const std::vector<float> radii(queries.size(), r);
+
+  BruteForce ref(ctx);
+  ASSERT_TRUE(ref.Build(&env.data, env.metric.get()).ok());
+  auto truth_r = ref.RangeBatch(queries, radii);
+  auto truth_k = ref.KnnBatch(queries, 8);
+  ASSERT_TRUE(truth_r.ok() && truth_k.ok());
+
+  for (const MethodId mid : bench::AllMethods()) {
+    auto method = MakeMethod(mid, ctx);
+    if (!method->Supports(env.data, *env.metric)) continue;
+
+    const auto build = bench::MeasureBuild(method.get(), env);
+    if (!build.status.ok()) {
+      // Budgeted failures are legitimate (Table 4 "/" entries) — but only
+      // memory ones.
+      EXPECT_EQ(build.status.code(), StatusCode::kMemoryLimit)
+          << method->Name() << ": " << build.status.ToString();
+      continue;
+    }
+    EXPECT_GE(build.sim_seconds, 0.0) << method->Name();
+
+    // MRQ (skip kNN-only GANNS).
+    auto res_r = method->RangeBatch(queries, radii);
+    if (res_r.ok()) {
+      for (uint32_t q = 0; q < queries.size(); ++q) {
+        std::vector<uint32_t> sorted = res_r.value()[q];
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, truth_r.value()[q])
+            << method->Name() << " query " << q;
+      }
+    } else {
+      EXPECT_EQ(res_r.status().code(), StatusCode::kUnsupported)
+          << method->Name();
+    }
+
+    // MkNNQ: exact methods must match; approximate ones must return k.
+    auto res_k = method->KnnBatch(queries, 8);
+    ASSERT_TRUE(res_k.ok()) << method->Name() << res_k.status().ToString();
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(res_k.value()[q].size(), truth_k.value()[q].size())
+          << method->Name();
+      if (method->IsExact()) {
+        for (size_t i = 0; i < res_k.value()[q].size(); ++i) {
+          EXPECT_FLOAT_EQ(res_k.value()[q][i].dist,
+                          truth_k.value()[q][i].dist)
+              << method->Name() << " q " << q << " rank " << i;
+        }
+      }
+    }
+
+    // Update cycles must preserve result correctness for exact methods.
+    ASSERT_TRUE(method->StreamRemoveInsert(3).ok()) << method->Name();
+    std::vector<uint32_t> tenth;
+    for (uint32_t i = 0; i < n; i += 10) tenth.push_back(i);
+    ASSERT_TRUE(method->BatchRemoveInsert(tenth).ok()) << method->Name();
+    if (method->IsExact()) {
+      auto after = method->RangeBatch(queries, radii);
+      if (after.ok()) {
+        for (uint32_t q = 0; q < queries.size(); ++q) {
+          std::vector<uint32_t> sorted = after.value()[q];
+          std::sort(sorted.begin(), sorted.end());
+          // Reinserted objects may carry new ids (GTS cache mints fresh
+          // ids); compare by count (the objects are identical).
+          EXPECT_EQ(sorted.size(), truth_r.value()[q].size())
+              << method->Name() << " q " << q;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, IntegrationTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+TEST(HarnessTest, BudgetsScaleWithCardinalityRatio) {
+  const DatasetSpec& tloc = GetDatasetSpec(DatasetId::kTLoc);
+  const DatasetSpec& vector = GetDatasetSpec(DatasetId::kVector);
+  // T-Loc is scaled down far more than Vector, so its budget is smaller.
+  EXPECT_LT(bench::DeviceBudgetBytes(tloc, 1.0),
+            bench::DeviceBudgetBytes(vector, 1.0));
+  EXPECT_EQ(bench::DeviceBudgetBytes(tloc, 2.0),
+            2 * bench::DeviceBudgetBytes(tloc, 1.0));
+}
+
+TEST(HarnessTest, ThroughputAndFormatting) {
+  EXPECT_DOUBLE_EQ(bench::ThroughputPerMin(128, 2.0), 3840.0);
+  EXPECT_EQ(bench::FormatFailure(Status::MemoryLimit("x")), "OOM");
+  EXPECT_EQ(bench::FormatFailure(Status::Deadlock("x")), "DEADLOCK");
+  EXPECT_EQ(bench::FormatFailure(Status::Unsupported("x")), "/");
+}
+
+TEST(HarnessTest, MethodListsMatchPaperLegends) {
+  EXPECT_EQ(bench::AllMethods().size(), 8u);
+  EXPECT_EQ(bench::AllMethods().back(), MethodId::kGts);
+  EXPECT_EQ(bench::UpdateMethods().size(), 7u);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metric/dataset.h"
+#include "metric/distance.h"
+
+namespace gts {
+namespace {
+
+Dataset PaperStrings() {
+  // The paper's Fig. 1 string dataset o1..o10.
+  Dataset d = Dataset::Strings();
+  for (const char* s : {"a", "ab", "bac", "acba", "aabc", "abbc", "abcc",
+                        "aabcc", "babcc", "abbcc"}) {
+    d.AppendString(s);
+  }
+  return d;
+}
+
+TEST(DatasetTest, StringStorage) {
+  Dataset d = PaperStrings();
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.kind(), DataKind::kString);
+  EXPECT_EQ(d.String(0), "a");
+  EXPECT_EQ(d.String(9), "abbcc");
+  EXPECT_EQ(d.ObjectBytes(3), 4u);
+}
+
+TEST(DatasetTest, VectorStorage) {
+  Dataset d = Dataset::FloatVectors(3);
+  d.AppendVector(std::vector<float>{1.0f, 2.0f, 3.0f});
+  d.AppendVector(std::vector<float>{4.0f, 5.0f, 6.0f});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_FLOAT_EQ(d.Vector(1)[2], 6.0f);
+  EXPECT_EQ(d.ObjectBytes(0), 12u);
+  EXPECT_EQ(d.TotalBytes(), 24u);
+}
+
+TEST(DatasetTest, SlicePreservesOrder) {
+  Dataset d = PaperStrings();
+  const uint32_t ids[] = {4, 0, 9};
+  Dataset s = d.Slice(ids);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.String(0), "aabc");
+  EXPECT_EQ(s.String(1), "a");
+  EXPECT_EQ(s.String(2), "abbcc");
+}
+
+TEST(DatasetTest, AppendFromOtherAndSelf) {
+  Dataset d = PaperStrings();
+  Dataset e = Dataset::Strings();
+  e.AppendFrom(d, 2);
+  EXPECT_EQ(e.String(0), "bac");
+  // Self-append must not corrupt when storage reallocates.
+  for (int i = 0; i < 200; ++i) e.AppendFrom(e, 0);
+  EXPECT_EQ(e.size(), 201u);
+  EXPECT_EQ(e.String(200), "bac");
+}
+
+TEST(EditDistanceTest, PaperExamples) {
+  // MRQ(o1, 2) = {o1, o2, o3} in the paper's Fig. 1 example.
+  Dataset d = PaperStrings();
+  auto m = MakeMetric(MetricKind::kEdit);
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 0), 0.0f);   // "a" vs "a"
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 1), 1.0f);   // "a" vs "ab"
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 2), 2.0f);   // "a" vs "bac"
+  EXPECT_GT(m->Distance(d, 0, 3), 2.0f);         // "a" vs "acba"
+  EXPECT_FLOAT_EQ(m->Distance(d, 7, 9), 1.0f);   // "aabcc" vs "abbcc"
+  EXPECT_FLOAT_EQ(m->Distance(d, 7, 8), 1.0f);   // "aabcc" vs "babcc"
+}
+
+TEST(EditDistanceTest, EmptyString) {
+  Dataset d = Dataset::Strings();
+  d.AppendString("");
+  d.AppendString("abc");
+  auto m = MakeMetric(MetricKind::kEdit);
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(m->Distance(d, 1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 0), 0.0f);
+}
+
+TEST(EditDistanceTest, CountsDpCells) {
+  Dataset d = Dataset::Strings();
+  d.AppendString("abcd");   // 4
+  d.AppendString("xyzxyz");  // 6
+  auto m = MakeMetric(MetricKind::kEdit);
+  m->Distance(d, 0, 1);
+  EXPECT_EQ(m->stats().calls, 1u);
+  EXPECT_EQ(m->stats().ops, 24u + kDistanceCallOps);
+}
+
+TEST(L1Test, KnownValues) {
+  Dataset d = Dataset::FloatVectors(3);
+  d.AppendVector(std::vector<float>{0.0f, 0.0f, 0.0f});
+  d.AppendVector(std::vector<float>{1.0f, -2.0f, 3.0f});
+  auto m = MakeMetric(MetricKind::kL1);
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 1), 6.0f);
+  EXPECT_EQ(m->stats().ops, 3u + kDistanceCallOps);
+}
+
+TEST(L2Test, KnownValues) {
+  Dataset d = Dataset::FloatVectors(2);
+  d.AppendVector(std::vector<float>{0.0f, 0.0f});
+  d.AppendVector(std::vector<float>{3.0f, 4.0f});
+  auto m = MakeMetric(MetricKind::kL2);
+  EXPECT_FLOAT_EQ(m->Distance(d, 0, 1), 5.0f);
+}
+
+TEST(AngularCosineTest, KnownAngles) {
+  Dataset d = Dataset::FloatVectors(2);
+  d.AppendVector(std::vector<float>{1.0f, 0.0f});
+  d.AppendVector(std::vector<float>{0.0f, 1.0f});   // 90 degrees
+  d.AppendVector(std::vector<float>{-1.0f, 0.0f});  // 180 degrees
+  d.AppendVector(std::vector<float>{2.0f, 0.0f});   // same direction
+  auto m = MakeMetric(MetricKind::kAngularCosine);
+  EXPECT_NEAR(m->Distance(d, 0, 1), 0.5f, 1e-5f);
+  EXPECT_NEAR(m->Distance(d, 0, 2), 1.0f, 1e-5f);
+  EXPECT_NEAR(m->Distance(d, 0, 3), 0.0f, 1e-5f);  // magnitude-invariant
+}
+
+TEST(MetricTest, SupportsKind) {
+  EXPECT_TRUE(MakeMetric(MetricKind::kL1)->SupportsKind(DataKind::kFloatVector));
+  EXPECT_FALSE(MakeMetric(MetricKind::kL1)->SupportsKind(DataKind::kString));
+  EXPECT_TRUE(MakeMetric(MetricKind::kEdit)->SupportsKind(DataKind::kString));
+  EXPECT_FALSE(
+      MakeMetric(MetricKind::kEdit)->SupportsKind(DataKind::kFloatVector));
+}
+
+TEST(MetricTest, NamesAndReset) {
+  auto m = MakeMetric(MetricKind::kL2);
+  EXPECT_EQ(m->Name(), "L2");
+  Dataset d = Dataset::FloatVectors(2);
+  d.AppendVector(std::vector<float>{0.0f, 0.0f});
+  d.AppendVector(std::vector<float>{1.0f, 1.0f});
+  m->Distance(d, 0, 1);
+  EXPECT_GT(m->stats().calls, 0u);
+  m->ResetStats();
+  EXPECT_EQ(m->stats().calls, 0u);
+  EXPECT_EQ(m->stats().ops, 0u);
+}
+
+}  // namespace
+}  // namespace gts

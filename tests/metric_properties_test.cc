@@ -1,0 +1,77 @@
+// Property suite: every metric must satisfy the metric-space axioms the
+// pruning lemmas (5.1 / 5.2) depend on — identity, symmetry,
+// non-negativity and the triangle inequality — on every dataset family.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace gts {
+namespace {
+
+class MetricAxiomsTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(MetricAxiomsTest, Axioms) {
+  const DatasetId id = GetParam();
+  const uint32_t n = id == DatasetId::kDna ? 60 : 150;
+  const Dataset data = GenerateDataset(id, n, /*seed=*/99);
+  const auto metric = MakeDatasetMetric(id);
+  Rng rng(42);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformU64(n));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformU64(n));
+    const uint32_t c = static_cast<uint32_t>(rng.UniformU64(n));
+    const float dab = metric->Distance(data, a, b);
+    const float dba = metric->Distance(data, b, a);
+    const float dac = metric->Distance(data, a, c);
+    const float dcb = metric->Distance(data, c, b);
+    const float daa = metric->Distance(data, a, a);
+
+    EXPECT_GE(dab, 0.0f) << "non-negativity";
+    EXPECT_FLOAT_EQ(daa, 0.0f) << "identity";
+    EXPECT_FLOAT_EQ(dab, dba) << "symmetry";
+    // Small epsilon tolerates float accumulation in high dimensions.
+    EXPECT_LE(dab, dac + dcb + 1e-4f * (1.0f + dac + dcb))
+        << "triangle inequality";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, MetricAxiomsTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+class MetricScaleTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(MetricScaleTest, DistancesAreFiniteAndDiscriminative) {
+  const DatasetId id = GetParam();
+  const uint32_t n = id == DatasetId::kDna ? 60 : 150;
+  const Dataset data = GenerateDataset(id, n, /*seed=*/3);
+  const auto metric = MakeDatasetMetric(id);
+  Rng rng(8);
+  int nonzero = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformU64(n));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformU64(n));
+    const float d = metric->Distance(data, a, b);
+    EXPECT_TRUE(std::isfinite(d));
+    nonzero += (d > 0.0f);
+  }
+  // Random pairs should almost always be apart.
+  EXPECT_GT(nonzero, 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, MetricScaleTest,
+                         ::testing::ValuesIn(kAllDatasets),
+                         [](const auto& info) {
+                           return SafeName(GetDatasetSpec(info.param).name);
+                         });
+
+}  // namespace
+}  // namespace gts

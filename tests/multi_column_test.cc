@@ -1,0 +1,187 @@
+// Multi-column GTS (paper §5.2 Remark): exactness of the pigeonhole-bounded
+// MRQ and Fagin's-algorithm MkNNQ against a brute-force aggregate scan, over
+// heterogeneous columns (vector + string attributes per row).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/multi_column.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+class MultiColumnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loc_metric_ = MakeMetric(MetricKind::kL2);
+    word_metric_ = MakeMetric(MetricKind::kEdit);
+    hist_metric_ = MakeMetric(MetricKind::kL1);
+
+    std::vector<MultiColumnGts::Column> columns;
+    columns.push_back({GenerateDataset(DatasetId::kTLoc, kRows, 1),
+                       loc_metric_.get(), 1.0});
+    columns.push_back({GenerateDataset(DatasetId::kWords, kRows, 2),
+                       word_metric_.get(), 0.5});
+    columns.push_back({GenerateDataset(DatasetId::kColor, kRows, 3),
+                       hist_metric_.get(), 4.0});
+    // Keep copies for brute-force verification.
+    for (const auto& c : columns) columns_copy_.push_back(c);
+
+    auto built = MultiColumnGts::Build(std::move(columns), &device_,
+                                       GtsOptions{.node_capacity = 8});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    mc_ = std::move(built).value();
+
+    // Row-aligned query batch: copies of existing rows.
+    Rng rng(9);
+    for (size_t i = 0; i < columns_copy_.size(); ++i) {
+      queries_.push_back(columns_copy_[i].data.Slice({}));
+    }
+    for (uint32_t q = 0; q < kQueries; ++q) {
+      const uint32_t row = static_cast<uint32_t>(rng.UniformU64(kRows));
+      for (size_t i = 0; i < columns_copy_.size(); ++i) {
+        queries_[i].AppendFrom(columns_copy_[i].data, row);
+      }
+    }
+  }
+
+  static constexpr uint32_t kRows = 400;
+  static constexpr uint32_t kQueries = 8;
+
+  gpu::Device device_;
+  std::unique_ptr<DistanceMetric> loc_metric_, word_metric_, hist_metric_;
+  std::vector<MultiColumnGts::Column> columns_copy_;
+  std::unique_ptr<MultiColumnGts> mc_;
+  std::vector<Dataset> queries_;
+};
+
+// Brute-force aggregate over all rows (correct per-column query datasets).
+std::vector<float> BruteAggregates(
+    const std::vector<MultiColumnGts::Column>& cols,
+    const std::vector<Dataset>& queries, uint32_t q, uint32_t rows) {
+  std::vector<float> agg(rows, 0.0f);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (uint32_t row = 0; row < rows; ++row) {
+      agg[row] += static_cast<float>(
+          cols[i].weight *
+          cols[i].metric->Distance(queries[i], q, cols[i].data, row));
+    }
+  }
+  return agg;
+}
+
+TEST_F(MultiColumnTest, RangeMatchesBruteForce) {
+  // Calibrate a radius from sampled aggregates.
+  std::vector<float> agg0 =
+      BruteAggregates(columns_copy_, queries_, 0, kRows);
+  std::vector<float> sorted = agg0;
+  std::sort(sorted.begin(), sorted.end());
+  const float r = sorted[kRows / 20];  // ~5% selectivity
+
+  const std::vector<float> radii(kQueries, r);
+  auto got = mc_->RangeQueryBatch(queries_, radii);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (uint32_t q = 0; q < kQueries; ++q) {
+    const auto agg = BruteAggregates(columns_copy_, queries_, q, kRows);
+    std::vector<uint32_t> expect;
+    for (uint32_t row = 0; row < kRows; ++row) {
+      if (agg[row] <= r) expect.push_back(row);
+    }
+    EXPECT_EQ(got.value()[q], expect) << "query " << q;
+  }
+}
+
+TEST_F(MultiColumnTest, KnnMatchesBruteForce) {
+  for (const uint32_t k : {1u, 5u, 16u}) {
+    auto got = mc_->KnnQueryBatch(queries_, k);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (uint32_t q = 0; q < kQueries; ++q) {
+      auto agg = BruteAggregates(columns_copy_, queries_, q, kRows);
+      std::vector<float> sorted = agg;
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_EQ(got.value()[q].size(), k) << "query " << q;
+      for (uint32_t i = 0; i < k; ++i) {
+        EXPECT_FLOAT_EQ(got.value()[q][i].dist, sorted[i])
+            << "query " << q << " k " << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(MultiColumnTest, SelfRowIsNearestUnderAggregate) {
+  auto got = mc_->KnnQueryBatch(queries_, 1);
+  ASSERT_TRUE(got.ok());
+  for (uint32_t q = 0; q < kQueries; ++q) {
+    ASSERT_EQ(got.value()[q].size(), 1u);
+    EXPECT_FLOAT_EQ(got.value()[q][0].dist, 0.0f);
+  }
+}
+
+TEST_F(MultiColumnTest, Validation) {
+  // Batch-size mismatch across query columns.
+  std::vector<Dataset> bad;
+  for (size_t i = 0; i < queries_.size(); ++i) bad.push_back(queries_[i].Slice({}));
+  bad[0].AppendFrom(columns_copy_[0].data, 0);
+  EXPECT_FALSE(mc_->KnnQueryBatch(bad, 3).ok());
+
+  // Wrong number of query columns.
+  std::vector<Dataset> two = {queries_[0].Slice({}), queries_[1].Slice({})};
+  EXPECT_FALSE(mc_->KnnQueryBatch(two, 3).ok());
+
+  // Radii count mismatch.
+  const std::vector<float> radii(kQueries + 1, 1.0f);
+  EXPECT_FALSE(mc_->RangeQueryBatch(queries_, radii).ok());
+}
+
+TEST(MultiColumnBuildTest, RejectsBadColumns) {
+  gpu::Device device;
+  auto l2 = MakeMetric(MetricKind::kL2);
+  // Misaligned row counts.
+  std::vector<MultiColumnGts::Column> cols;
+  cols.push_back({GenerateDataset(DatasetId::kTLoc, 100, 1), l2.get(), 1.0});
+  cols.push_back({GenerateDataset(DatasetId::kTLoc, 99, 2), l2.get(), 1.0});
+  EXPECT_FALSE(MultiColumnGts::Build(std::move(cols), &device, GtsOptions{})
+                   .ok());
+  // Non-positive weight.
+  std::vector<MultiColumnGts::Column> cols2;
+  cols2.push_back({GenerateDataset(DatasetId::kTLoc, 100, 1), l2.get(), 0.0});
+  EXPECT_FALSE(MultiColumnGts::Build(std::move(cols2), &device, GtsOptions{})
+                   .ok());
+  // Empty.
+  EXPECT_FALSE(MultiColumnGts::Build({}, &device, GtsOptions{}).ok());
+}
+
+TEST(MultiColumnSingleTest, SingleColumnMatchesPlainGts) {
+  gpu::Device device;
+  auto l2 = MakeMetric(MetricKind::kL2);
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 500, 7);
+  std::vector<MultiColumnGts::Column> cols;
+  cols.push_back({data.Slice([&] {
+                    std::vector<uint32_t> ids(data.size());
+                    for (uint32_t i = 0; i < data.size(); ++i) ids[i] = i;
+                    return ids;
+                  }()),
+                  l2.get(), 1.0});
+  auto mc = MultiColumnGts::Build(std::move(cols), &device, GtsOptions{});
+  ASSERT_TRUE(mc.ok());
+
+  auto plain = GtsIndex::Build(std::move(data), l2.get(), &device,
+                               GtsOptions{});
+  ASSERT_TRUE(plain.ok());
+
+  const Dataset queries = SampleQueries(plain.value()->data(), 8, 3);
+  auto a = mc.value()->KnnQueryBatch({queries}, 5);
+  auto b = plain.value()->KnnQueryBatch(queries, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(a.value()[q].size(), b.value()[q].size());
+    for (size_t i = 0; i < a.value()[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(a.value()[q][i].dist, b.value()[q][i].dist);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,22 @@
+// Shared helpers for the test suite.
+#ifndef GTS_TESTS_TEST_UTIL_H_
+#define GTS_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+namespace gts {
+
+/// gtest parameterized-test names allow only [A-Za-z0-9_]; dataset/method
+/// names like "T-Loc" and "GPU-Table" need sanitizing.
+inline std::string SafeName(std::string s) {
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+}  // namespace gts
+
+#endif  // GTS_TESTS_TEST_UTIL_H_

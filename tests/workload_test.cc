@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace gts {
+namespace {
+
+TEST(SampleQueriesTest, DrawsFromDataset) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 500, 3);
+  const Dataset q = SampleQueries(data, 64, 9);
+  ASSERT_EQ(q.size(), 64u);
+  EXPECT_TRUE(q.CompatibleWith(data));
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  // Every query is an exact copy of some object.
+  for (uint32_t i = 0; i < q.size(); ++i) {
+    float best = std::numeric_limits<float>::infinity();
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      best = std::min(best, metric->Distance(q, i, data, j));
+    }
+    EXPECT_FLOAT_EQ(best, 0.0f);
+  }
+}
+
+TEST(SampleQueriesTest, DeterministicAndSeedSensitive) {
+  const Dataset data = GenerateDataset(DatasetId::kWords, 300, 3);
+  const Dataset a = SampleQueries(data, 16, 9);
+  const Dataset b = SampleQueries(data, 16, 9);
+  const Dataset c = SampleQueries(data, 16, 10);
+  auto metric = MakeDatasetMetric(DatasetId::kWords);
+  bool differs = false;
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.String(i), b.String(i));
+    differs |= (a.String(i) != c.String(i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CalibrateRadiusTest, MonotonicInSelectivity) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 1000, 3);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  float prev = -1.0f;
+  for (const double sel : {0.0001, 0.001, 0.01, 0.1, 0.5}) {
+    const float r = CalibrateRadius(data, *metric, sel, 150, 7);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CalibrateRadiusTest, AchievesTargetSelectivity) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 2000, 3);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  const double target = 0.05;
+  const float r = CalibrateRadius(data, *metric, target, 200, 7);
+  // Measure the true selectivity with a separate query sample.
+  const Dataset queries = SampleQueries(data, 50, 99);
+  uint64_t inside = 0;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      inside += (metric->Distance(queries, q, data, j) <= r);
+    }
+  }
+  const double measured =
+      static_cast<double>(inside) / (queries.size() * data.size());
+  EXPECT_GT(measured, target / 4);
+  EXPECT_LT(measured, target * 4);
+}
+
+TEST(CalibrateRadiusTest, EdgeCases) {
+  const Dataset data = GenerateDataset(DatasetId::kTLoc, 100, 3);
+  auto metric = MakeDatasetMetric(DatasetId::kTLoc);
+  EXPECT_EQ(CalibrateRadius(Dataset::FloatVectors(2), *metric, 0.5, 10, 1),
+            0.0f);
+  const float rmax = CalibrateRadius(data, *metric, 1.0, 50, 1);
+  const float rmin = CalibrateRadius(data, *metric, 0.0, 50, 1);
+  EXPECT_GE(rmax, rmin);
+}
+
+TEST(ParameterGridsTest, MatchPaperTable3) {
+  ASSERT_EQ(std::size(kRadiusSteps), 6u);
+  ASSERT_EQ(std::size(kKValues), 6u);
+  ASSERT_EQ(std::size(kBatchSizes), 6u);
+  ASSERT_EQ(std::size(kNodeCapacities), 6u);
+  EXPECT_EQ(kRadiusSteps[0], 1);
+  EXPECT_EQ(kRadiusSteps[5], 32);
+  EXPECT_EQ(kBatchSizes[5], 512);
+  EXPECT_EQ(kNodeCapacities[5], 320);
+  EXPECT_EQ(kDefaultNodeCapacity, 20);
+  EXPECT_EQ(kDefaultBatch, 128);
+}
+
+}  // namespace
+}  // namespace gts
