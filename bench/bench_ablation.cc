@@ -30,7 +30,8 @@ double Recall(const KnnResults& got, const KnnResults& truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "ablation");
   // ---- (a) FFT ancestor depth ------------------------------------------
   std::printf("Ablation (a): FFT reference-set depth (Words, MRQ r-step=%d)\n",
               kDefaultRadiusStep);
@@ -48,10 +49,11 @@ int main() {
       options.node_capacity = 4;  // deep tree so ancestor depth matters
       options.fft_ancestors = ancestors;
       gts.set_gts_options(options);
-      const auto build = bench::MeasureBuild(&gts, env);
+      const std::string cfg = "ancestors=" + std::to_string(ancestors);
+      const auto build = bench::MeasureBuild(&gts, env, cfg);
       if (!build.status.ok()) continue;
       gts.index()->ResetQueryStats();
-      const auto mrq = bench::MeasureRange(&gts, queries, radii);
+      const auto mrq = bench::MeasureRange(&gts, env, queries, radii, cfg);
       std::printf("  %-10u %14.3g %16.1f %14s\n", ancestors,
                   build.sim_seconds,
                   static_cast<double>(
@@ -105,7 +107,9 @@ int main() {
             std::max<uint64_t>(static_cast<uint64_t>(base * frac),
                                resident + (64 << 10)));
         gts.index()->ResetQueryStats();
-        const auto mrq = bench::MeasureRange(&gts, queries, radii);
+        const auto mrq = bench::MeasureRange(
+            &gts, env, queries, radii,
+            "mem=" + std::to_string(static_cast<int>(frac * 100)) + "%");
         std::printf("  %-11.0f%% %14s %10llu\n", frac * 100,
                     mrq.status.ok()
                         ? bench::FormatThroughput(bench::ThroughputPerMin(

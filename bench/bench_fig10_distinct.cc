@@ -9,7 +9,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig10_distinct");
   std::printf("Fig 10: GTS throughput (queries/min, simulated) vs distinct "
               "data proportion; batch=%d\n", kDefaultBatch);
   bench::PrintRule('=');
@@ -32,8 +33,9 @@ int main() {
         std::printf("  %-9d%% %14s %14s\n", pct, "ERR", "ERR");
         continue;
       }
-      const auto mrq = bench::MeasureRange(&gts, queries, radii);
-      const auto knn = bench::MeasureKnn(&gts, queries, kDefaultK);
+      const std::string cfg = "distinct=" + std::to_string(pct) + "%";
+      const auto mrq = bench::MeasureRange(&gts, env, queries, radii, cfg);
+      const auto knn = bench::MeasureKnn(&gts, env, queries, kDefaultK, cfg);
       std::printf("  %-9d%% %14s %14s\n", pct,
                   bench::FormatThroughput(bench::ThroughputPerMin(
                       queries.size(), mrq.sim_seconds)).c_str(),

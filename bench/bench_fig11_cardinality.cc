@@ -10,7 +10,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig11_cardinality");
   std::printf("Fig 11: MkNNQ throughput (queries/min, simulated) and memory "
               "vs cardinality; batch=%d, k=%d\n", kDefaultBatch, kDefaultK);
   bench::PrintRule('=');
@@ -40,14 +41,15 @@ int main() {
           std::printf(" %10s %6s", "/", "");
           continue;
         }
-        const auto build = bench::MeasureBuild(method.get(), env);
+        const std::string cfg = "n=" + std::to_string(n);
+        const auto build = bench::MeasureBuild(method.get(), env, cfg);
         if (!build.status.ok()) {
           std::printf(" %10s %6s",
                       bench::FormatFailure(build.status).c_str(), "");
           continue;
         }
         const Dataset queries = SampleQueries(env.data, kDefaultBatch, 5);
-        const auto m = bench::MeasureKnn(method.get(), queries, kDefaultK);
+        const auto m = bench::MeasureKnn(method.get(), env, queries, kDefaultK, cfg);
         const uint64_t mem_bytes = method->IndexBytes() +
                                    env.data.TotalBytes();
         if (!m.status.ok()) {

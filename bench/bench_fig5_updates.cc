@@ -15,7 +15,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig5_updates");
   const int stream_ops =
       static_cast<int>(GetEnvInt64("GTS_BENCH_STREAM_OPS", 100));
 
@@ -53,6 +54,9 @@ int main() {
       if (!ok) {
         std::printf(" %10s", "ERR");
       } else {
+        bench::GlobalReporter().AddSample(
+            bench::SeriesName(method->Name(), "stream_update"), env.spec->name,
+            method->SimSeconds(), static_cast<uint64_t>(stream_ops));
         std::printf(" %9.2es", method->SimSeconds() / stream_ops);
       }
     }
@@ -89,6 +93,9 @@ int main() {
       if (!method->BatchRemoveInsert(ids).ok()) {
         std::printf(" %10s", "ERR");
       } else {
+        bench::GlobalReporter().AddSample(
+            bench::SeriesName(method->Name(), "batch_update"), env.spec->name,
+            method->SimSeconds(), ids.size());
         std::printf(" %9.2es", method->SimSeconds());
       }
     }

@@ -9,7 +9,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig6_node_capacity");
   std::printf("Fig 6: GTS throughput (queries/min, simulated) vs node "
               "capacity Nc; batch=%d, r-step=%d, k=%d\n",
               kDefaultBatch, kDefaultRadiusStep, kDefaultK);
@@ -34,8 +35,9 @@ int main() {
         std::printf("  %-6d %14s %14s\n", nc, "ERR", "ERR");
         continue;
       }
-      const auto mrq = bench::MeasureRange(&gts, queries, radii);
-      const auto knn = bench::MeasureKnn(&gts, queries, kDefaultK);
+      const std::string cfg = "Nc=" + std::to_string(nc);
+      const auto mrq = bench::MeasureRange(&gts, env, queries, radii, cfg);
+      const auto knn = bench::MeasureKnn(&gts, env, queries, kDefaultK, cfg);
       const double mrq_tp =
           bench::ThroughputPerMin(queries.size(), mrq.sim_seconds);
       const double knn_tp =

@@ -7,7 +7,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig7_mknn");
   std::printf("Fig 7(f-j): MkNNQ throughput (queries/min, simulated) vs k; "
               "batch=%d\n", kDefaultBatch);
   bench::PrintRule('=');
@@ -41,7 +42,8 @@ int main() {
       }
       for (const int k : kKValues) {
         const auto m =
-            bench::MeasureKnn(method.get(), queries, static_cast<uint32_t>(k));
+            bench::MeasureKnn(method.get(), env, queries, static_cast<uint32_t>(k),
+                              "k=" + std::to_string(k));
         if (!m.status.ok()) {
           std::printf(" %12s", bench::FormatFailure(m.status).c_str());
         } else {

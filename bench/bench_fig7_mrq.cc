@@ -7,7 +7,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig7_mrq");
   std::printf("Fig 7(a-e): MRQ throughput (queries/min, simulated) vs "
               "r-step; batch=%d\n", kDefaultBatch);
   bench::PrintRule('=');
@@ -43,7 +44,8 @@ int main() {
       for (const int step : kRadiusSteps) {
         const float r = bench::RadiusForStep(env, step);
         const std::vector<float> radii(queries.size(), r);
-        const auto m = bench::MeasureRange(method.get(), queries, radii);
+        const auto m = bench::MeasureRange(method.get(), env, queries, radii,
+                                           "r=" + std::to_string(step));
         if (!m.status.ok()) {
           std::printf(" %12s", bench::FormatFailure(m.status).c_str());
         } else {

@@ -10,7 +10,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig8_gpu_memory");
   std::printf("Fig 8: GTS throughput (queries/min, simulated) vs GPU memory "
               "(scaled GB-equivalents); batch=%d\n", kDefaultBatch);
   bench::PrintRule('=');
@@ -40,9 +41,10 @@ int main() {
         continue;
       }
       gts.index()->ResetQueryStats();
-      const auto mrq = bench::MeasureRange(&gts, queries, radii);
+      const std::string cfg = "mem=" + std::to_string(gb) + "GB";
+      const auto mrq = bench::MeasureRange(&gts, env, queries, radii, cfg);
       const uint64_t groups = gts.index()->query_stats().query_groups;
-      const auto knn = bench::MeasureKnn(&gts, queries, kDefaultK);
+      const auto knn = bench::MeasureKnn(&gts, env, queries, kDefaultK, cfg);
       const auto fmt = [&](const bench::Measurement& m) {
         return m.status.ok()
                    ? bench::FormatThroughput(bench::ThroughputPerMin(

@@ -9,7 +9,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "fig9_concurrency");
   std::printf("Fig 9: MRQ throughput (queries/min, simulated) vs batch "
               "size; r-step=%d\n", kDefaultRadiusStep);
   bench::PrintRule('=');
@@ -46,7 +47,8 @@ int main() {
         const Dataset queries =
             SampleQueries(env.data, static_cast<uint32_t>(b), 5);
         const std::vector<float> radii(queries.size(), r);
-        const auto m = bench::MeasureRange(method.get(), queries, radii);
+        const auto m = bench::MeasureRange(method.get(), env, queries, radii,
+                                           "batch=" + std::to_string(b));
         if (!m.status.ok()) {
           std::printf(" %13s", bench::FormatFailure(m.status).c_str());
         } else {

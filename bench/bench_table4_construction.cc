@@ -8,7 +8,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "table4_construction");
   std::printf("Table 4: index construction cost (time = simulated seconds, "
               "storage = MB)\n");
   std::printf("('/' = unsupported, OOM = memory budget exceeded; "

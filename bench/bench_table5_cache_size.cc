@@ -13,7 +13,8 @@
 
 using namespace gts;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonOutput json_out(&argc, argv, "table5_cache_size");
   const int cycles = static_cast<int>(GetEnvInt64("GTS_BENCH_CYCLES", 1000));
   const double cache_kb[] = {0.01, 0.1, 1.0, 5.0, 10.0};
 
@@ -48,6 +49,13 @@ int main() {
         const Dataset q = SampleQueries(env.data, 1, rng.NextU64());
         const std::vector<float> radii = {r};
         ok = ok && gts.RangeBatch(q, radii).ok();
+      }
+      if (ok) {
+        char cfg[32];
+        std::snprintf(cfg, sizeof(cfg), "cache=%.2fKB", kb);
+        bench::GlobalReporter().AddSample(
+            bench::SeriesName(gts.Name(), "update_cycle", cfg),
+            env.spec->name, gts.SimSeconds(), static_cast<uint64_t>(cycles));
       }
       std::printf(" %11.3es", ok ? gts.SimSeconds() / cycles : -1.0);
     }

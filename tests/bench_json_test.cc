@@ -1,0 +1,186 @@
+// BENCH_*.json output of the bench harness: BenchResult serialization
+// round-trips, required-field validation, reporter aggregation (p50/p95 and
+// throughput), and the JsonOutput flag parsing + file format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.h"
+
+namespace gts::bench {
+namespace {
+
+BenchResult MakeSample() {
+  BenchResult r;
+  r.name = "GTS/mrq";
+  r.dataset = "T-Loc";
+  r.samples = 6;
+  r.p50_latency_ms = 0.125;
+  r.p95_latency_ms = 3.5;
+  r.throughput_per_min = 61440.0;
+  return r;
+}
+
+TEST(BenchJsonTest, RoundTrip) {
+  const BenchResult in = MakeSample();
+  const std::string json = ToJson(in);
+  auto out = BenchResultFromJson(json);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), in);
+}
+
+TEST(BenchJsonTest, RoundTripEscapedStrings) {
+  BenchResult in = MakeSample();
+  in.name = "odd \"name\"\twith\\escapes\n";
+  in.dataset = "data\rset";
+  auto out = BenchResultFromJson(ToJson(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().name, in.name);
+  EXPECT_EQ(out.value().dataset, in.dataset);
+}
+
+TEST(BenchJsonTest, RejectsMalformedJson) {
+  EXPECT_FALSE(BenchResultFromJson("").ok());
+  EXPECT_FALSE(BenchResultFromJson("not json").ok());
+  EXPECT_FALSE(BenchResultFromJson("{\"name\": \"x\"").ok());
+  EXPECT_FALSE(BenchResultFromJson("{\"name\": [1]}").ok());
+  EXPECT_FALSE(BenchResultFromJson(ToJson(MakeSample()) + "trailing").ok());
+  // Out-of-range sample counts must be rejected, not cast.
+  EXPECT_FALSE(BenchResultFromJson(
+                   "{\"name\": \"x\", \"dataset\": \"y\", \"samples\": -1, "
+                   "\"p50_latency_ms\": 0, \"p95_latency_ms\": 0, "
+                   "\"throughput_per_min\": 0}")
+                   .ok());
+}
+
+TEST(BenchJsonTest, RejectsMissingRequiredFields) {
+  // Drop one required field at a time by rebuilding the object manually.
+  const char* const required[] = {"name",           "dataset",
+                                  "samples",        "p50_latency_ms",
+                                  "p95_latency_ms", "throughput_per_min"};
+  const std::string full = ToJson(MakeSample());
+  for (const char* field : required) {
+    const std::string key = std::string("\"") + field + "\"";
+    ASSERT_NE(full.find(key), std::string::npos) << field;
+    // Rename the key so the value stays but the field is "missing".
+    std::string broken = full;
+    broken.replace(broken.find(key), key.size(),
+                   std::string("\"x_") + field + "\"");
+    EXPECT_FALSE(BenchResultFromJson(broken).ok()) << "field: " << field;
+  }
+  EXPECT_TRUE(BenchResultFromJson(full).ok());
+}
+
+TEST(BenchJsonTest, ReporterAggregatesPercentilesAndThroughput) {
+  BenchReporter reporter;
+  // 20 samples of 1..20 simulated ms per single-item call.
+  for (int i = 1; i <= 20; ++i) {
+    reporter.AddSample("M/op", "D", i * 1e-3, 1);
+  }
+  const auto results = reporter.Results();
+  ASSERT_EQ(results.size(), 1u);
+  const BenchResult& r = results[0];
+  EXPECT_EQ(r.name, "M/op");
+  EXPECT_EQ(r.dataset, "D");
+  EXPECT_EQ(r.samples, 20u);
+  EXPECT_DOUBLE_EQ(r.p50_latency_ms, 10.0);  // nearest-rank over 1..20
+  EXPECT_DOUBLE_EQ(r.p95_latency_ms, 19.0);
+  // 20 items over 210 simulated ms.
+  EXPECT_NEAR(r.throughput_per_min, 20.0 / 0.210 * 60.0, 1e-6);
+}
+
+TEST(BenchJsonTest, ReporterKeepsSeriesSeparateAndOrdered) {
+  BenchReporter reporter;
+  reporter.AddSample("A/build", "Words", 2e-3, 1);
+  reporter.AddSample("A/mrq", "Words", 1e-3, 10);
+  reporter.AddSample("A/mrq", "Vector", 1e-3, 10);
+  reporter.AddSample("A/mrq", "Words", 3e-3, 10);
+  const auto results = reporter.Results();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].name, "A/build");
+  EXPECT_EQ(results[1].name, "A/mrq");
+  EXPECT_EQ(results[1].dataset, "Words");
+  EXPECT_EQ(results[1].samples, 2u);
+  EXPECT_EQ(results[2].dataset, "Vector");
+}
+
+TEST(BenchJsonTest, WriteJsonProducesParsableRecords) {
+  BenchReporter reporter;
+  reporter.AddSample("GTS/knn", "DNA", 4e-3, 8);
+  reporter.AddResult(MakeSample());
+  const std::string path = ::testing::TempDir() + "/bench_json_test.json";
+  ASSERT_TRUE(reporter.WriteJson(path, "unit").ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"gts-bench-v1\""), std::string::npos);
+
+  // Each line of the results array is one parsable BenchResult record.
+  size_t records = 0;
+  std::stringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t open = line.find('{');
+    if (open == std::string::npos || line.find("\"bench\"") != std::string::npos) {
+      continue;
+    }
+    const size_t close = line.rfind('}');
+    ASSERT_NE(close, std::string::npos);
+    auto parsed =
+        BenchResultFromJson(line.substr(open, close - open + 1));
+    EXPECT_TRUE(parsed.ok()) << line;
+    ++records;
+  }
+  EXPECT_EQ(records, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, JsonOutputStripsFlagAndWritesFile) {
+  const std::string path = ::testing::TempDir() + "/bench_json_flag.json";
+  std::string arg0 = "bench_x", arg1 = "--json", arg2 = path, arg3 = "other";
+  char* argv[] = {arg0.data(), arg1.data(), arg2.data(), arg3.data(), nullptr};
+  int argc = 4;
+  GlobalReporter().Clear();
+  GlobalReporter().AddSample("GTS/build", "Words", 1e-2, 1);
+  {
+    JsonOutput guard(&argc, argv, "unit", /*allow_extra_args=*/true);
+    EXPECT_TRUE(guard.enabled());
+    EXPECT_EQ(guard.path(), path);
+    ASSERT_EQ(argc, 2);  // --json <path> consumed, "other" kept
+    EXPECT_STREQ(argv[1], "other");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("GTS/build"), std::string::npos);
+  GlobalReporter().Clear();
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, JsonOutputRejectsUnknownArgsByDefault) {
+  std::string arg0 = "bench_x", arg1 = "--Json";  // typo'd flag
+  char* argv[] = {arg0.data(), arg1.data(), nullptr};
+  int argc = 2;
+  EXPECT_EXIT(JsonOutput(&argc, argv, "unit"),
+              ::testing::ExitedWithCode(2), "unrecognized argument: --Json");
+}
+
+TEST(BenchJsonTest, JsonOutputDisabledWithoutFlag) {
+  std::string arg0 = "bench_x";
+  char* argv[] = {arg0.data(), nullptr};
+  int argc = 1;
+  JsonOutput guard(&argc, argv, "unit");
+  EXPECT_FALSE(guard.enabled());
+  EXPECT_EQ(argc, 1);
+}
+
+}  // namespace
+}  // namespace gts::bench

@@ -110,7 +110,9 @@ TEST_P(DifferentialTest, GtsStaysExactUnderRandomUpdates) {
     } else {
       const uint32_t victim =
           static_cast<uint32_t>(rng.UniformU64(index.size()));
-      if (index.IsAlive(victim)) ASSERT_TRUE(index.Remove(victim).ok());
+      if (index.IsAlive(victim)) {
+        ASSERT_TRUE(index.Remove(victim).ok());
+      }
     }
   }
 

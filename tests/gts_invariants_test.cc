@@ -7,6 +7,7 @@
 
 #include "test_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -121,7 +122,9 @@ TEST_P(GtsInvariantsTest, StructuralInvariants) {
         const float expect = metric->Distance(
             idx.data(), objects[leaf.pos + t], parent.pivot);
         EXPECT_FLOAT_EQ(dis[leaf.pos + t], expect);
-        if (t > 0) EXPECT_GE(dis[leaf.pos + t], dis[leaf.pos + t - 1]);
+        if (t > 0) {
+          EXPECT_GE(dis[leaf.pos + t], dis[leaf.pos + t - 1]);
+        }
       }
     }
   }
@@ -129,7 +132,11 @@ TEST_P(GtsInvariantsTest, StructuralInvariants) {
 
 TEST_P(GtsInvariantsTest, BalancedLeaves) {
   const Param p = GetParam();
-  const uint32_t n = p.dataset == DatasetId::kDna ? 120 : 500;
+  // Size the dataset so the tree always has height >= 2 (n >= Nc^2 forces a
+  // level below the root): high node capacities like T_Loc/Nc=80 would
+  // otherwise produce a single-level tree and leave the invariant untested.
+  const uint32_t base = p.dataset == DatasetId::kDna ? 120 : 500;
+  const uint32_t n = std::max(base, p.nc * p.nc + p.nc);
   Dataset data = GenerateDataset(p.dataset, n, 22);
   auto metric = MakeDatasetMetric(p.dataset);
   gpu::Device device;
@@ -140,7 +147,7 @@ TEST_P(GtsInvariantsTest, BalancedLeaves) {
   ASSERT_TRUE(built.ok());
   const GtsIndex& idx = *built.value();
   const uint32_t h = idx.height();
-  if (h < 2) GTEST_SKIP() << "single-level tree";
+  ASSERT_GE(h, 2u) << "dataset sizing must yield a multi-level tree";
   // Even partitioning: leaf sizes differ by at most Nc (floor split with
   // the last child absorbing remainders at each of h-1 levels).
   uint32_t lo = n, hi = 0;
