@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json runs and flag throughput regressions.
+
+Usage:
+    diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    diff_bench.py --self-test
+
+Series are keyed on (name, dataset). Exit status:
+    0  no regression
+    1  at least one series regressed by more than --threshold (fractional
+       throughput drop), or a baseline series is missing from the candidate
+    2  usage / malformed input
+
+Latency growth beyond the threshold is reported as a warning only: the
+gate is throughput, per the ROADMAP's perf-trajectory-tracking item.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gts-bench-v1"
+REQUIRED_FIELDS = (
+    "name",
+    "dataset",
+    "samples",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "throughput_per_min",
+)
+
+
+def load_results(path):
+    """Returns {(name, dataset): record} for one BENCH_*.json file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"{path}: {e}") from e
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    records = doc.get("results", [])
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: 'results' is not a list")
+    results = {}
+    for record in records:
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: result record is not an object")
+        missing = [f for f in REQUIRED_FIELDS if f not in record]
+        if missing:
+            raise ValueError(f"{path}: record missing fields {missing}")
+        results[(record["name"], record["dataset"])] = record
+    return results
+
+
+def diff(baseline, candidate, threshold):
+    """Compares the two result maps; returns (regressions, warnings, notes)."""
+    regressions, warnings, notes = [], [], []
+    for key, base in sorted(baseline.items()):
+        name = f"{key[0]} [{key[1]}]"
+        cand = candidate.get(key)
+        if cand is None:
+            regressions.append(f"{name}: missing from candidate")
+            continue
+        b, c = base["throughput_per_min"], cand["throughput_per_min"]
+        if b > 0.0 and c < b * (1.0 - threshold):
+            regressions.append(
+                f"{name}: throughput {b:.4g} -> {c:.4g} "
+                f"({(c / b - 1.0) * 100.0:+.1f}%)"
+            )
+        bp, cp = base["p95_latency_ms"], cand["p95_latency_ms"]
+        if bp > 0.0 and cp > bp * (1.0 + threshold):
+            warnings.append(
+                f"{name}: p95 latency {bp:.4g} ms -> {cp:.4g} ms "
+                f"({(cp / bp - 1.0) * 100.0:+.1f}%)"
+            )
+    for key in sorted(set(candidate) - set(baseline)):
+        notes.append(f"{key[0]} [{key[1]}]: new series (no baseline)")
+    return regressions, warnings, notes
+
+
+def run_diff(baseline_path, candidate_path, threshold):
+    baseline = load_results(baseline_path)
+    candidate = load_results(candidate_path)
+    regressions, warnings, notes = diff(baseline, candidate, threshold)
+    for line in notes:
+        print(f"NOTE     {line}")
+    for line in warnings:
+        print(f"WARNING  {line}")
+    for line in regressions:
+        print(f"REGRESSION  {line}")
+    compared = len(set(baseline) & set(candidate))
+    print(
+        f"compared {compared} series: {len(regressions)} regression(s), "
+        f"{len(warnings)} latency warning(s), threshold {threshold * 100:.0f}%"
+    )
+    return 1 if regressions else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: writes fixture BENCH files into a temp dir and round-trips them
+# through the real load/diff/exit-code path. Registered as a ctest
+# (`diff_bench_selftest`).
+# ---------------------------------------------------------------------------
+
+
+def _record(name, dataset, tput, p95=1.0):
+    return {
+        "name": name,
+        "dataset": dataset,
+        "samples": 3,
+        "p50_latency_ms": p95 / 2.0,
+        "p95_latency_ms": p95,
+        "throughput_per_min": tput,
+    }
+
+
+def self_test():
+    import os
+    import tempfile
+
+    def write(path, results):
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"bench": "t", "schema": SCHEMA, "results": results}, f)
+
+    failures = []
+
+    def check(label, got, want):
+        if got != want:
+            failures.append(f"{label}: got {got}, want {want}")
+
+    with tempfile.TemporaryDirectory() as d:
+        base = os.path.join(d, "base.json")
+        write(
+            base,
+            [
+                _record("gts/mrq@b=64", "T-Loc", 1000.0),
+                _record("gts/knn@k=8", "Color", 500.0, p95=2.0),
+            ],
+        )
+
+        # Identical run: clean diff.
+        check("identical", run_diff(base, base, 0.10), 0)
+
+        # Within threshold: still clean.
+        ok = os.path.join(d, "ok.json")
+        write(
+            ok,
+            [
+                _record("gts/mrq@b=64", "T-Loc", 950.0),
+                _record("gts/knn@k=8", "Color", 505.0, p95=2.0),
+            ],
+        )
+        check("within-threshold", run_diff(base, ok, 0.10), 0)
+
+        # >10% throughput drop on one series: regression.
+        bad = os.path.join(d, "bad.json")
+        write(
+            bad,
+            [
+                _record("gts/mrq@b=64", "T-Loc", 850.0),
+                _record("gts/knn@k=8", "Color", 500.0, p95=2.0),
+            ],
+        )
+        check("regressed", run_diff(base, bad, 0.10), 1)
+        # The same drop passes under a looser threshold.
+        check("loose-threshold", run_diff(base, bad, 0.20), 0)
+
+        # Missing baseline series in the candidate: regression.
+        missing = os.path.join(d, "missing.json")
+        write(missing, [_record("gts/mrq@b=64", "T-Loc", 1000.0)])
+        check("missing-series", run_diff(base, missing, 0.10), 1)
+
+        # Latency growth alone: warning, not a failure.
+        slow = os.path.join(d, "slow.json")
+        write(
+            slow,
+            [
+                _record("gts/mrq@b=64", "T-Loc", 1000.0, p95=9.0),
+                _record("gts/knn@k=8", "Color", 500.0, p95=2.0),
+            ],
+        )
+        check("latency-warning", run_diff(base, slow, 0.10), 0)
+
+        # Malformed candidate: load_results must raise.
+        broken = os.path.join(d, "broken.json")
+        with open(broken, "w", encoding="utf-8") as f:
+            f.write('{"schema": "other", "results": []}')
+        try:
+            load_results(broken)
+            failures.append("malformed: expected ValueError")
+        except ValueError:
+            pass
+
+        # Non-object records (or a non-list "results") must be rejected as
+        # malformed input, not crash with a TypeError.
+        nonobj = os.path.join(d, "nonobj.json")
+        with open(nonobj, "w", encoding="utf-8") as f:
+            f.write('{"schema": "gts-bench-v1", "results": ["x"]}')
+        try:
+            load_results(nonobj)
+            failures.append("nonobj-record: expected ValueError")
+        except ValueError:
+            pass
+        nonlist = os.path.join(d, "nonlist.json")
+        with open(nonlist, "w", encoding="utf-8") as f:
+            f.write('{"schema": "gts-bench-v1", "results": {}}')
+        try:
+            load_results(nonlist)
+            failures.append("nonlist-results: expected ValueError")
+        except ValueError:
+            pass
+
+        # A record missing a required field must be rejected.
+        partial = os.path.join(d, "partial.json")
+        rec = _record("gts/mrq@b=64", "T-Loc", 1000.0)
+        del rec["throughput_per_min"]
+        write(partial, [rec])
+        try:
+            load_results(partial)
+            failures.append("partial-record: expected ValueError")
+        except ValueError:
+            pass
+
+    for f in failures:
+        print(f"SELF-TEST FAILURE: {f}", file=sys.stderr)
+    print(f"self-test: {'FAIL' if failures else 'PASS'}")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional throughput drop that fails the diff (default 0.10)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixture round-trip suite",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+    if not 0.0 <= args.threshold < 1.0:
+        print("--threshold must be in [0, 1)", file=sys.stderr)
+        return 2
+    try:
+        return run_diff(args.baseline, args.candidate, args.threshold)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -71,7 +71,33 @@ Status GtsIndex::UpdateResidentBytes() {
   return Status::Ok();
 }
 
+GtsQueryStats GtsIndex::query_stats() const {
+  GtsQueryStats s;
+  s.distance_computations = stat_distances_.load(std::memory_order_relaxed);
+  s.nodes_visited = stat_nodes_.load(std::memory_order_relaxed);
+  s.objects_verified = stat_objects_.load(std::memory_order_relaxed);
+  s.query_groups = stat_groups_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void GtsIndex::ResetQueryStats() {
+  stat_distances_.store(0, std::memory_order_relaxed);
+  stat_nodes_.store(0, std::memory_order_relaxed);
+  stat_objects_.store(0, std::memory_order_relaxed);
+  stat_groups_.store(0, std::memory_order_relaxed);
+}
+
+void GtsIndex::AccumulateStats(const GtsQueryStats& s,
+                               GtsQueryStats* stats_out) const {
+  stat_distances_.fetch_add(s.distance_computations, std::memory_order_relaxed);
+  stat_nodes_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
+  stat_objects_.fetch_add(s.objects_verified, std::memory_order_relaxed);
+  stat_groups_.fetch_add(s.query_groups, std::memory_order_relaxed);
+  if (stats_out != nullptr) *stats_out = s;
+}
+
 Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
+  std::unique_lock lock(mu_);
   if (!src.CompatibleWith(data_)) {
     return Status::InvalidArgument("inserted object incompatible with dataset");
   }
@@ -87,12 +113,13 @@ Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
   device_->clock().ChargeKernel(1, 4);  // O(1) cache append
 
   if (cache_.bytes() > options_.cache_capacity_bytes) {
-    GTS_RETURN_IF_ERROR(Rebuild());
+    GTS_RETURN_IF_ERROR(RebuildLocked());
   }
   return id;
 }
 
 Status GtsIndex::Remove(uint32_t id) {
+  std::unique_lock lock(mu_);
   if (id >= data_.size() || !alive_[id]) {
     return Status::NotFound("object not present");
   }
@@ -105,7 +132,7 @@ Status GtsIndex::Remove(uint32_t id) {
     if (indexed_count_ > 0 &&
         static_cast<double>(tombstones_in_tree_) > options_.max_tombstone_fraction *
             static_cast<double>(indexed_count_)) {
-      GTS_RETURN_IF_ERROR(Rebuild());
+      GTS_RETURN_IF_ERROR(RebuildLocked());
     }
   }
   return Status::Ok();
@@ -113,6 +140,7 @@ Status GtsIndex::Remove(uint32_t id) {
 
 Status GtsIndex::BatchUpdate(const Dataset& inserts,
                              std::span<const uint32_t> removals) {
+  std::unique_lock lock(mu_);
   if (inserts.size() > 0 && !inserts.CompatibleWith(data_)) {
     return Status::InvalidArgument("inserted objects incompatible with dataset");
   }
@@ -129,10 +157,15 @@ Status GtsIndex::BatchUpdate(const Dataset& inserts,
   }
   device_->clock().ChargeKernel(removals.size() + inserts.size(),
                                 (removals.size() + inserts.size()) * 2);
-  return Rebuild();
+  return RebuildLocked();
 }
 
 Status GtsIndex::Rebuild() {
+  std::unique_lock lock(mu_);
+  return RebuildLocked();
+}
+
+Status GtsIndex::RebuildLocked() {
   std::vector<uint32_t> ids;
   ids.reserve(alive_count_);
   for (uint32_t id = 0; id < data_.size(); ++id) {

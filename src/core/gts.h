@@ -4,6 +4,11 @@
 // streaming updates through a cache table, and batch updates via full
 // parallel reconstruction.
 //
+// Thread-safety: the batched queries are const and may run concurrently from
+// any number of threads; the update strategies (Insert/Remove/BatchUpdate/
+// Rebuild) take an internal writer lock and safely interleave with in-flight
+// queries. See serve/query_executor.h for the multi-threaded batch executor.
+//
 // Typical use:
 //   auto device = std::make_unique<gpu::Device>();
 //   auto metric = MakeMetric(MetricKind::kL2);
@@ -13,9 +18,11 @@
 #ifndef GTS_CORE_GTS_H_
 #define GTS_CORE_GTS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -62,6 +69,15 @@ struct GtsQueryStats {
   uint64_t nodes_visited = 0;          ///< frontier entries expanded
   uint64_t objects_verified = 0;       ///< leaf objects distance-checked
   uint64_t query_groups = 0;           ///< two-stage groups processed
+
+  bool operator==(const GtsQueryStats&) const = default;
+  GtsQueryStats& operator+=(const GtsQueryStats& o) {
+    distance_computations += o.distance_computations;
+    nodes_visited += o.nodes_visited;
+    objects_verified += o.objects_verified;
+    query_groups += o.query_groups;
+    return *this;
+  }
 };
 
 class GtsIndex {
@@ -77,13 +93,25 @@ class GtsIndex {
   GtsIndex(const GtsIndex&) = delete;
   GtsIndex& operator=(const GtsIndex&) = delete;
 
+  // --- Queries (thread-safe read path) ----------------------------------
+  // The batched queries are const and data-race-free: all per-call scratch
+  // lives in a per-call context, so any number of threads may query one
+  // index concurrently. Each query call holds the index's shared lock for
+  // its duration, serializing against Insert/Remove/BatchUpdate/Rebuild
+  // (which take it exclusively); a query therefore always observes a
+  // consistent snapshot of the tree, liveness and cache tables.
+  // When `stats_out` is non-null it receives this call's counters; the
+  // aggregate query_stats() is maintained either way (atomically).
+
   /// Batched metric range query (Algorithm 4). `radii[i]` is the radius of
   /// query object `i` of `queries`. Exact.
   Result<RangeResults> RangeQueryBatch(const Dataset& queries,
-                                       std::span<const float> radii);
+                                       std::span<const float> radii,
+                                       GtsQueryStats* stats_out = nullptr) const;
 
   /// Batched metric k-nearest-neighbour query (Algorithm 5). Exact.
-  Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k);
+  Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
+                                   GtsQueryStats* stats_out = nullptr) const;
 
   /// Approximate MkNNQ (the paper's §7 future-work direction): leaf
   /// verification examines only the best `candidate_fraction` of each
@@ -91,7 +119,13 @@ class GtsIndex {
   /// than 2k), trading recall for throughput. candidate_fraction = 1.0
   /// degenerates to the exact query.
   Result<KnnResults> KnnQueryBatchApprox(const Dataset& queries, uint32_t k,
-                                         double candidate_fraction);
+                                         double candidate_fraction,
+                                         GtsQueryStats* stats_out = nullptr) const;
+
+  // --- Updates (exclusive writers) --------------------------------------
+  // Update calls take the index lock exclusively and may therefore safely
+  // interleave with in-flight queries from other threads; concurrent update
+  // calls serialize against each other.
 
   /// Streaming insert: copies object `idx` of `src` into the cache table
   /// (O(1)); rebuilds when the cache budget overflows. Returns the new id.
@@ -120,6 +154,9 @@ class GtsIndex {
                                                 gpu::Device* device);
 
   // --- Introspection ----------------------------------------------------
+  // Plain unlocked reads: safe against concurrent queries (which never
+  // mutate index state), but callers must synchronize externally against
+  // concurrent updates.
   uint32_t height() const { return height_; }
   uint32_t node_capacity() const { return options_.node_capacity; }
   uint64_t num_nodes() const { return node_list_.size() - 1; }
@@ -141,8 +178,11 @@ class GtsIndex {
   const GtsNode& node(uint64_t id) const { return node_list_[id]; }
   std::span<const uint32_t> table_objects() const { return tl_object_; }
   std::span<const float> table_dis() const { return tl_dis_; }
-  const GtsQueryStats& query_stats() const { return query_stats_; }
-  void ResetQueryStats() { query_stats_ = GtsQueryStats{}; }
+
+  /// Snapshot of the aggregate query counters (accumulated atomically
+  /// across all concurrent query calls since the last reset).
+  GtsQueryStats query_stats() const;
+  void ResetQueryStats();
 
  private:
   GtsIndex(Dataset data, const DistanceMetric* metric, gpu::Device* device,
@@ -155,6 +195,15 @@ class GtsIndex {
     uint32_t node;
     uint32_t query;
     float parent_dq;
+  };
+
+  /// Per-call scratch of one batched query: its counters plus the
+  /// approximate-mode candidate budget. Everything a query mutates lives
+  /// here (or in function-local buffers), which is what makes the read
+  /// path const and data-race-free.
+  struct QueryContext {
+    GtsQueryStats stats;
+    double candidate_fraction = 1.0;  ///< leaf-verification budget (1 = exact)
   };
 
   /// Per-query running top-k state for MkNNQ (deduplicated by object id so
@@ -179,19 +228,23 @@ class GtsIndex {
   // search_range.cc ---------------------------------------------------
   Status RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                     const Dataset& queries, std::span<const float> radii,
-                    RangeResults* out);
+                    RangeResults* out, QueryContext* ctx) const;
   void VerifyRangeLeaves(std::span<const Entry> frontier,
                          const Dataset& queries, std::span<const float> radii,
-                         RangeResults* out);
+                         RangeResults* out, QueryContext* ctx) const;
   void SearchCacheRange(const Dataset& queries, std::span<const float> radii,
-                        RangeResults* out);
+                        RangeResults* out, QueryContext* ctx) const;
 
   // search_knn.cc -------------------------------------------------------
+  Result<KnnResults> KnnQueryBatchImpl(const Dataset& queries, uint32_t k,
+                                       QueryContext* ctx) const;
   Status KnnLevel(std::span<const Entry> frontier, uint32_t layer,
-                  const Dataset& queries, std::vector<KnnState>* states);
+                  const Dataset& queries, std::vector<KnnState>* states,
+                  QueryContext* ctx) const;
   void VerifyKnnLeaves(std::span<const Entry> frontier, const Dataset& queries,
-                       std::vector<KnnState>* states);
-  void SearchCacheKnn(const Dataset& queries, std::vector<KnnState>* states);
+                       std::vector<KnnState>* states, QueryContext* ctx) const;
+  void SearchCacheKnn(const Dataset& queries, std::vector<KnnState>* states,
+                      QueryContext* ctx) const;
 
   /// Frontier-entry budget for `layer` (paper §5.1):
   /// size_GPU / ((h - layer + 1) * Nc), expressed in entries.
@@ -203,8 +256,14 @@ class GtsIndex {
 
   // gts.cc ----------------------------------------------------------------
   Status UpdateResidentBytes();
-  float QueryObjectDistance(const Dataset& queries, uint32_t q, uint32_t id) {
-    ++query_stats_.distance_computations;
+  /// Rebuild body; the caller must hold `mu_` exclusively.
+  Status RebuildLocked();
+  /// Folds one call's counters into the atomic aggregate and copies them to
+  /// `stats_out` when requested.
+  void AccumulateStats(const GtsQueryStats& s, GtsQueryStats* stats_out) const;
+  float QueryObjectDistance(const Dataset& queries, uint32_t q, uint32_t id,
+                            QueryContext* ctx) const {
+    ++ctx->stats.distance_computations;
     return metric_->Distance(queries, q, data_, id);
   }
 
@@ -228,9 +287,20 @@ class GtsIndex {
   uint64_t rebuild_count_ = 0;
 
   uint64_t resident_bytes_ = 0;  ///< current device reservation
-  GtsQueryStats query_stats_;
-  /// Leaf-verification candidate budget for the approximate mode (1 = exact).
-  double knn_candidate_fraction_ = 1.0;
+
+  // Concurrency control: queries and SaveTo hold `mu_` shared; the update
+  // strategies hold it exclusive. std::shared_mutex makes no fairness
+  // guarantee, so a saturating stream of overlapping readers can delay a
+  // writer unboundedly — acceptable for batch-oriented serving (shards
+  // drain between batches); latency-fair admission is a serve-layer
+  // concern (see ROADMAP "Serving depth"). The aggregate stats are relaxed
+  // atomics so concurrent (const) queries can fold their counters in
+  // lock-free.
+  mutable std::shared_mutex mu_;
+  mutable std::atomic<uint64_t> stat_distances_{0};
+  mutable std::atomic<uint64_t> stat_nodes_{0};
+  mutable std::atomic<uint64_t> stat_objects_{0};
+  mutable std::atomic<uint64_t> stat_groups_{0};
 };
 
 }  // namespace gts

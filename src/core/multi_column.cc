@@ -67,7 +67,8 @@ float MultiColumnGts::AggregateDistance(
 }
 
 Result<RangeResults> MultiColumnGts::RangeQueryBatch(
-    const std::vector<Dataset>& query_columns, std::span<const float> radii) {
+    const std::vector<Dataset>& query_columns,
+    std::span<const float> radii) const {
   GTS_RETURN_IF_ERROR(ValidateQueries(query_columns));
   const uint32_t batch = query_columns[0].size();
   if (batch != radii.size()) {
@@ -109,7 +110,7 @@ Result<RangeResults> MultiColumnGts::RangeQueryBatch(
 }
 
 Result<KnnResults> MultiColumnGts::KnnQueryBatch(
-    const std::vector<Dataset>& query_columns, uint32_t k) {
+    const std::vector<Dataset>& query_columns, uint32_t k) const {
   GTS_RETURN_IF_ERROR(ValidateQueries(query_columns));
   const uint32_t batch = query_columns[0].size();
   KnnResults out(batch);

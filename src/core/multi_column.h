@@ -37,12 +37,13 @@ class MultiColumnGts {
   /// query is <= radius. `query_columns[i]` holds the batch's query objects
   /// for column i (all columns the same batch size). Exact.
   Result<RangeResults> RangeQueryBatch(
-      const std::vector<Dataset>& query_columns, std::span<const float> radii);
+      const std::vector<Dataset>& query_columns,
+      std::span<const float> radii) const;
 
   /// Multi-column kNN under the aggregate distance (Fagin's algorithm).
   /// Exact.
   Result<KnnResults> KnnQueryBatch(const std::vector<Dataset>& query_columns,
-                                   uint32_t k);
+                                   uint32_t k) const;
 
   uint32_t num_columns() const { return static_cast<uint32_t>(columns_.size()); }
   uint32_t rows() const { return rows_; }

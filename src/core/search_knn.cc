@@ -33,18 +33,31 @@ void GtsIndex::KnnState::Offer(uint32_t id, float dist) {
 
 Result<KnnResults> GtsIndex::KnnQueryBatchApprox(const Dataset& queries,
                                                  uint32_t k,
-                                                 double candidate_fraction) {
+                                                 double candidate_fraction,
+                                                 GtsQueryStats* stats_out) const {
   if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
     return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
   }
-  knn_candidate_fraction_ = candidate_fraction;
-  auto result = KnnQueryBatch(queries, k);
-  knn_candidate_fraction_ = 1.0;
+  std::shared_lock lock(mu_);
+  QueryContext ctx;
+  ctx.candidate_fraction = candidate_fraction;
+  auto result = KnnQueryBatchImpl(queries, k, &ctx);
+  AccumulateStats(ctx.stats, stats_out);
   return result;
 }
 
-Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries,
-                                           uint32_t k) {
+Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries, uint32_t k,
+                                           GtsQueryStats* stats_out) const {
+  std::shared_lock lock(mu_);
+  QueryContext ctx;
+  auto result = KnnQueryBatchImpl(queries, k, &ctx);
+  AccumulateStats(ctx.stats, stats_out);
+  return result;
+}
+
+Result<KnnResults> GtsIndex::KnnQueryBatchImpl(const Dataset& queries,
+                                               uint32_t k,
+                                               QueryContext* ctx) const {
   if (!queries.CompatibleWith(data_)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
@@ -60,9 +73,9 @@ Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries,
     for (uint32_t q = 0; q < queries.size(); ++q) {
       frontier.push_back(Entry{1, q, kNoParent});
     }
-    GTS_RETURN_IF_ERROR(KnnLevel(frontier, 1, queries, &states));
+    GTS_RETURN_IF_ERROR(KnnLevel(frontier, 1, queries, &states, ctx));
   }
-  SearchCacheKnn(queries, &states);
+  SearchCacheKnn(queries, &states, ctx);
 
   for (uint32_t q = 0; q < queries.size(); ++q) {
     out[q] = std::move(states[q].topk);
@@ -72,16 +85,17 @@ Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries,
 
 Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
                           const Dataset& queries,
-                          std::vector<KnnState>* states) {
+                          std::vector<KnnState>* states,
+                          QueryContext* ctx) const {
   if (frontier.empty()) return Status::Ok();
   if (layer == height_) {
-    VerifyKnnLeaves(frontier, queries, states);
+    VerifyKnnLeaves(frontier, queries, states, ctx);
     return Status::Ok();
   }
 
   const uint32_t nc = options_.node_capacity;
   const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
-  query_stats_.query_groups += groups.size();
+  ctx->stats.query_groups += groups.size();
 
   for (const auto& [begin, end] : groups) {
     const auto group = frontier.subspan(begin, end - begin);
@@ -98,7 +112,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
       gpu::KernelDistanceScope scope(device_, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
         const GtsNode& node = node_list_[group[i].node];
-        dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot);
+        dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot, ctx);
         if (alive_[node.pivot]) {
           (*states)[group[i].query].Offer(node.pivot, dq[i]);
         }
@@ -107,7 +121,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
     // The paper locates the running k-th distance with a device-wide
     // encode-sort of the candidate distances; charge the equivalent.
     device_->clock().ChargeSort(group.size());
-    query_stats_.nodes_visited += group.size();
+    ctx->stats.nodes_visited += group.size();
 
     // Kernel B: ring pruning with the current bound (Lemma 5.2).
     size_t emitted = 0;
@@ -128,14 +142,15 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
                                   static_cast<uint64_t>(group.size()) * nc * 4);
 
     GTS_RETURN_IF_ERROR(KnnLevel(std::span<const Entry>(buf.data(), emitted),
-                                 layer + 1, queries, states));
+                                 layer + 1, queries, states, ctx));
   }
   return Status::Ok();
 }
 
 void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
                                const Dataset& queries,
-                               std::vector<KnnState>* states) {
+                               std::vector<KnnState>* states,
+                               QueryContext* ctx) const {
   // Two-kernel leaf verification (Algorithm 5's "select the current best k
   // to derive the narrowed bound, then prune"): kernel A verifies each
   // query's first surviving leaf to seed the k-bound; kernel B filters the
@@ -179,11 +194,12 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
       for (uint32_t j = 0; j < leaf.size; ++j) {
         const uint32_t id = tl_object_[leaf.pos + j];
         if (!alive_[id]) continue;
-        (*states)[e.query].Offer(id, QueryObjectDistance(queries, e.query, id));
+        (*states)[e.query].Offer(
+            id, QueryObjectDistance(queries, e.query, id, ctx));
       }
     }
   }
-  query_stats_.objects_verified += seed_scanned;
+  ctx->stats.objects_verified += seed_scanned;
 
   // Kernel B1: pivot filter with the seeded bounds; surviving candidates
   // carry their annulus gap |tl_dis - dq| (a lower bound on the true
@@ -212,29 +228,34 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
     }
   }
   device_->clock().ChargeKernel(scanned, scanned * 2);
-  query_stats_.objects_verified += scanned;
+  ctx->stats.objects_verified += scanned;
 
   // Algorithm 5's encode-sort: candidates ordered per query by ascending
   // annulus gap, so verification tightens the bound as early as possible
   // and skips candidates the shrunken bound disproves.
+  // Table index as the final tie-break: equal-gap candidates must verify in
+  // a deterministic order or ties at the k-th boundary would depend on how
+  // the batch was composed (the sharded executor must be byte-identical to
+  // the single-threaded batch).
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               if (a.query != b.query) return a.query < b.query;
-              return a.gap < b.gap;
+              if (a.gap != b.gap) return a.gap < b.gap;
+              return a.idx < b.idx;
             });
   device_->clock().ChargeSort(candidates.size());
 
   // Approximate mode: cap each query's verified candidates to the best
   // fraction (by annulus gap); exact mode (fraction = 1) keeps all.
   std::vector<uint32_t> budget;
-  if (knn_candidate_fraction_ < 1.0) {
+  if (ctx->candidate_fraction < 1.0) {
     budget.assign(states->size(), 0);
     std::vector<uint32_t> totals(states->size(), 0);
     for (const Candidate& c : candidates) ++totals[c.query];
     for (size_t q = 0; q < totals.size(); ++q) {
       const uint32_t k2 = (*states)[q].k * 2;
       budget[q] = std::max<uint32_t>(
-          k2, static_cast<uint32_t>(knn_candidate_fraction_ * totals[q]));
+          k2, static_cast<uint32_t>(ctx->candidate_fraction * totals[q]));
     }
   }
 
@@ -248,12 +269,14 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
     }
     if (c.gap > (*states)[c.query].Bound()) continue;
     const uint32_t id = tl_object_[c.idx];
-    (*states)[c.query].Offer(id, QueryObjectDistance(queries, c.query, id));
+    (*states)[c.query].Offer(
+        id, QueryObjectDistance(queries, c.query, id, ctx));
   }
 }
 
 void GtsIndex::SearchCacheKnn(const Dataset& queries,
-                              std::vector<KnnState>* states) {
+                              std::vector<KnnState>* states,
+                              QueryContext* ctx) const {
   if (cache_.empty()) return;
   const auto ids = cache_.ids();
   gpu::KernelDistanceScope scope(device_, metric_,
@@ -261,7 +284,7 @@ void GtsIndex::SearchCacheKnn(const Dataset& queries,
                                      ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {
     for (const uint32_t id : ids) {
-      (*states)[q].Offer(id, QueryObjectDistance(queries, q, id));
+      (*states)[q].Offer(id, QueryObjectDistance(queries, q, id, ctx));
     }
   }
 }

@@ -55,14 +55,17 @@ std::vector<std::pair<size_t, size_t>> GtsIndex::GroupFrontier(
   return groups;
 }
 
-Result<RangeResults> GtsIndex::RangeQueryBatch(const Dataset& queries,
-                                               std::span<const float> radii) {
+Result<RangeResults> GtsIndex::RangeQueryBatch(
+    const Dataset& queries, std::span<const float> radii,
+    GtsQueryStats* stats_out) const {
+  std::shared_lock lock(mu_);
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
   if (!queries.CompatibleWith(data_)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
+  QueryContext ctx;
   RangeResults out(queries.size());
   if (indexed_count_ > 0) {
     std::vector<Entry> frontier;
@@ -70,25 +73,27 @@ Result<RangeResults> GtsIndex::RangeQueryBatch(const Dataset& queries,
     for (uint32_t q = 0; q < queries.size(); ++q) {
       frontier.push_back(Entry{1, q, kNoParent});
     }
-    GTS_RETURN_IF_ERROR(RangeLevel(frontier, 1, queries, radii, &out));
+    GTS_RETURN_IF_ERROR(RangeLevel(frontier, 1, queries, radii, &out, &ctx));
   }
-  SearchCacheRange(queries, radii, &out);
+  SearchCacheRange(queries, radii, &out, &ctx);
   for (auto& ids : out) std::sort(ids.begin(), ids.end());
+  AccumulateStats(ctx.stats, stats_out);
   return out;
 }
 
 Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                             const Dataset& queries,
-                            std::span<const float> radii, RangeResults* out) {
+                            std::span<const float> radii, RangeResults* out,
+                            QueryContext* ctx) const {
   if (frontier.empty()) return Status::Ok();
   if (layer == height_) {
-    VerifyRangeLeaves(frontier, queries, radii, out);
+    VerifyRangeLeaves(frontier, queries, radii, out, ctx);
     return Status::Ok();
   }
 
   const uint32_t nc = options_.node_capacity;
   const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
-  query_stats_.query_groups += groups.size();
+  ctx->stats.query_groups += groups.size();
 
   for (const auto& [begin, end] : groups) {
     const auto group = frontier.subspan(begin, end - begin);
@@ -106,10 +111,10 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
       gpu::KernelDistanceScope scope(device_, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
         dq[i] = QueryObjectDistance(queries, group[i].query,
-                                    node_list_[group[i].node].pivot);
+                                    node_list_[group[i].node].pivot, ctx);
       }
     }
-    query_stats_.nodes_visited += group.size();
+    ctx->stats.nodes_visited += group.size();
 
     // Kernel B: ring pruning (Lemma 5.1) over entry x child pairs.
     size_t emitted = 0;
@@ -129,7 +134,7 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
 
     GTS_RETURN_IF_ERROR(RangeLevel(
         std::span<const Entry>(buf.data(), emitted), layer + 1, queries,
-        radii, out));
+        radii, out, ctx));
   }
   return Status::Ok();
 }
@@ -137,7 +142,7 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
 void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
                                  const Dataset& queries,
                                  std::span<const float> radii,
-                                 RangeResults* out) {
+                                 RangeResults* out, QueryContext* ctx) const {
   // Phase 1: pivot filter via the stored leaf column (Lemma 5.1 with the
   // leaf parent's pivot), skipping tombstoned objects.
   std::vector<std::pair<uint32_t, uint32_t>> candidates;  // (query, table idx)
@@ -155,20 +160,20 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
     }
   }
   device_->clock().ChargeKernel(scanned, scanned * 2);
-  query_stats_.objects_verified += scanned;
+  ctx->stats.objects_verified += scanned;
 
   // Phase 2: exact verification of surviving candidates.
   gpu::KernelDistanceScope scope(device_, metric_, candidates.size());
   for (const auto& [q, idx] : candidates) {
     const uint32_t id = tl_object_[idx];
-    const float d = QueryObjectDistance(queries, q, id);
+    const float d = QueryObjectDistance(queries, q, id, ctx);
     if (d <= radii[q]) (*out)[q].push_back(id);
   }
 }
 
 void GtsIndex::SearchCacheRange(const Dataset& queries,
                                 std::span<const float> radii,
-                                RangeResults* out) {
+                                RangeResults* out, QueryContext* ctx) const {
   if (cache_.empty()) return;
   const auto ids = cache_.ids();
   gpu::KernelDistanceScope scope(device_, metric_,
@@ -176,7 +181,7 @@ void GtsIndex::SearchCacheRange(const Dataset& queries,
                                      ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {
     for (const uint32_t id : ids) {
-      const float d = QueryObjectDistance(queries, q, id);
+      const float d = QueryObjectDistance(queries, q, id, ctx);
       if (d <= radii[q]) (*out)[q].push_back(id);
     }
   }

@@ -45,6 +45,7 @@ bool ReadVec(std::istream& in, std::vector<T>* v) {
 }  // namespace
 
 Status GtsIndex::SaveTo(const std::string& path) const {
+  std::shared_lock lock(mu_);  // consistent snapshot vs concurrent updates
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::InvalidArgument("cannot open " + path);
 

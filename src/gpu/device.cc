@@ -6,14 +6,17 @@ Device::Device(DeviceOptions options)
     : options_(options),
       clock_(ClockConfig{.lanes = options.lanes,
                          .ns_per_op = options.ns_per_op,
-                         .launch_overhead_ns = options.launch_overhead_ns}) {}
+                         .launch_overhead_ns = options.launch_overhead_ns}),
+      memory_bytes_(options.memory_bytes) {}
 
 Status Device::Allocate(uint64_t bytes, const char* what) {
-  if (allocated_bytes_ + bytes > options_.memory_bytes) {
+  const uint64_t budget = memory_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (allocated_bytes_ + bytes > budget) {
     return Status::MemoryLimit(
         std::string(what) + ": requested " + std::to_string(bytes) +
         " B with " + std::to_string(allocated_bytes_) + " B in use of " +
-        std::to_string(options_.memory_bytes) + " B device memory");
+        std::to_string(budget) + " B device memory");
   }
   allocated_bytes_ += bytes;
   if (allocated_bytes_ > peak_allocated_bytes_) {
@@ -23,6 +26,7 @@ Status Device::Allocate(uint64_t bytes, const char* what) {
 }
 
 void Device::Free(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   allocated_bytes_ = (bytes > allocated_bytes_) ? 0 : allocated_bytes_ - bytes;
 }
 

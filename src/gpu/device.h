@@ -5,7 +5,9 @@
 #ifndef GTS_GPU_DEVICE_H_
 #define GTS_GPU_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +27,8 @@ struct DeviceOptions {
   double launch_overhead_ns = kGpuLaunchOverheadNs;
 };
 
+/// Thread-safe: allocation accounting is mutex-guarded and the clock charges
+/// atomically, so concurrent query threads may share one device.
 class Device {
  public:
   explicit Device(DeviceOptions options = {});
@@ -35,14 +39,27 @@ class Device {
   /// Releases a prior reservation.
   void Free(uint64_t bytes);
 
-  uint64_t memory_bytes() const { return options_.memory_bytes; }
+  uint64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
   /// Changes the budget (Fig. 8 sweeps GPU memory). Does not touch current
   /// reservations; an over-budget state simply fails future allocations.
-  void set_memory_bytes(uint64_t bytes) { options_.memory_bytes = bytes; }
+  void set_memory_bytes(uint64_t bytes) {
+    memory_bytes_.store(bytes, std::memory_order_relaxed);
+  }
 
-  uint64_t allocated_bytes() const { return allocated_bytes_; }
-  uint64_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
-  void ResetPeak() { peak_allocated_bytes_ = allocated_bytes_; }
+  uint64_t allocated_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocated_bytes_;
+  }
+  uint64_t peak_allocated_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_allocated_bytes_;
+  }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_allocated_bytes_ = allocated_bytes_;
+  }
 
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
@@ -51,6 +68,8 @@ class Device {
  private:
   DeviceOptions options_;
   SimClock clock_;
+  std::atomic<uint64_t> memory_bytes_;
+  mutable std::mutex mu_;  // guards the two reservation counters
   uint64_t allocated_bytes_ = 0;
   uint64_t peak_allocated_bytes_ = 0;
 };

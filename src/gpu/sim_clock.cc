@@ -10,30 +10,30 @@ inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
 
 void SimClock::ChargeKernel(uint64_t items, uint64_t total_ops) {
   if (items == 0) return;
-  ++kernels_launched_;
+  kernels_launched_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t waves = CeilDiv(items, config_.lanes);
   const double ops_per_item =
       static_cast<double>(total_ops) / static_cast<double>(items);
-  elapsed_ns_ += static_cast<double>(waves) * ops_per_item * config_.ns_per_op +
-                 config_.launch_overhead_ns;
+  AddNs(static_cast<double>(waves) * ops_per_item * config_.ns_per_op +
+        config_.launch_overhead_ns);
 }
 
 void SimClock::ChargeSort(uint64_t n) {
   if (n <= 1) return;
-  ++kernels_launched_;
+  kernels_launched_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t waves = CeilDiv(n, config_.lanes);
   const double log_n = std::log2(static_cast<double>(n));
-  elapsed_ns_ += static_cast<double>(waves) * kSortOpsPerKey * log_n *
-                     config_.ns_per_op +
-                 config_.launch_overhead_ns;
+  AddNs(static_cast<double>(waves) * kSortOpsPerKey * log_n *
+            config_.ns_per_op +
+        config_.launch_overhead_ns);
 }
 
 void SimClock::ChargeScan(uint64_t n) {
   if (n == 0) return;
-  ++kernels_launched_;
+  kernels_launched_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t waves = CeilDiv(n, config_.lanes);
-  elapsed_ns_ += static_cast<double>(waves) * 2.0 * config_.ns_per_op +
-                 config_.launch_overhead_ns;
+  AddNs(static_cast<double>(waves) * 2.0 * config_.ns_per_op +
+        config_.launch_overhead_ns);
 }
 
 }  // namespace gts::gpu

@@ -16,6 +16,7 @@
 #ifndef GTS_GPU_SIM_CLOCK_H_
 #define GTS_GPU_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace gts::gpu {
@@ -38,7 +39,14 @@ struct ClockConfig {
   double launch_overhead_ns = kGpuLaunchOverheadNs;
 };
 
-/// Accumulates simulated time. Single-threaded; not thread-safe by design.
+/// Accumulates simulated time. Charging is thread-safe (relaxed atomic
+/// accumulation), so concurrent query threads may share one clock without
+/// data races — but the *amounts* charged during overlap are only
+/// approximate: delta-based scopes (KernelDistanceScope) read a shared
+/// metric counter, so concurrent work can be attributed to several scopes
+/// at once. Simulated-time measurements are exact only when taken with a
+/// quiesced index (single-threaded), which is how every bench measures;
+/// under concurrency the clock is a conservative upper bound.
 class SimClock {
  public:
   SimClock() = default;
@@ -59,23 +67,36 @@ class SimClock {
   void ChargeScan(uint64_t n);
 
   /// Adds raw nanoseconds (e.g. host-device transfer models).
-  void ChargeRawNs(double ns) { elapsed_ns_ += ns; }
+  void ChargeRawNs(double ns) { AddNs(ns); }
 
-  double ElapsedNs() const { return elapsed_ns_; }
-  double ElapsedSeconds() const { return elapsed_ns_ * 1e-9; }
-  uint64_t kernels_launched() const { return kernels_launched_; }
+  double ElapsedNs() const {
+    return elapsed_ns_.load(std::memory_order_relaxed);
+  }
+  double ElapsedSeconds() const { return ElapsedNs() * 1e-9; }
+  uint64_t kernels_launched() const {
+    return kernels_launched_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
-    elapsed_ns_ = 0.0;
-    kernels_launched_ = 0;
+    elapsed_ns_.store(0.0, std::memory_order_relaxed);
+    kernels_launched_.store(0, std::memory_order_relaxed);
   }
 
  private:
   static constexpr double kSortOpsPerKey = 4.0;
 
+  // CAS loop instead of atomic<double>::fetch_add: identical semantics,
+  // supported by every toolchain in the CI matrix.
+  void AddNs(double ns) {
+    double cur = elapsed_ns_.load(std::memory_order_relaxed);
+    while (!elapsed_ns_.compare_exchange_weak(cur, cur + ns,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
   ClockConfig config_;
-  double elapsed_ns_ = 0.0;
-  uint64_t kernels_launched_ = 0;
+  std::atomic<double> elapsed_ns_{0.0};
+  std::atomic<uint64_t> kernels_launched_{0};
 };
 
 /// Clock configuration for CPU (host) baselines: one lane, faster per-op,

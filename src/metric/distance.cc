@@ -33,7 +33,7 @@ class L1Metric final : public DistanceMetric {
     const auto vb = b.Vector(j);
     double sum = 0.0;
     for (size_t d = 0; d < va.size(); ++d) sum += std::fabs(va[d] - vb[d]);
-    stats_.ops += va.size();
+    AddOps(va.size());
     return static_cast<float>(sum);
   }
 };
@@ -55,7 +55,7 @@ class L2Metric final : public DistanceMetric {
       const double diff = va[d] - vb[d];
       sum += diff * diff;
     }
-    stats_.ops += va.size();
+    AddOps(va.size());
     return static_cast<float>(std::sqrt(sum));
   }
 };
@@ -81,7 +81,7 @@ class AngularCosineMetric final : public DistanceMetric {
       na += static_cast<double>(va[d]) * va[d];
       nb += static_cast<double>(vb[d]) * vb[d];
     }
-    stats_.ops += 3 * va.size();
+    AddOps(3 * va.size());
     const double denom = std::sqrt(na) * std::sqrt(nb);
     if (denom <= 0.0) return (na == nb) ? 0.0f : 1.0f;
     double c = std::clamp(dot / denom, -1.0, 1.0);
@@ -108,23 +108,24 @@ class EditMetric final : public DistanceMetric {
     if (sa.size() > sb.size()) std::swap(sa, sb);  // sa is the shorter
     const size_t m = sa.size(), n = sb.size();
     if (m == 0) return static_cast<float>(n);
-    row_.resize(m + 1);
-    for (size_t x = 0; x <= m; ++x) row_[x] = static_cast<uint32_t>(x);
+    // Reused DP row; thread_local so concurrent query threads do not share
+    // scratch.
+    static thread_local std::vector<uint32_t> row;
+    row.resize(m + 1);
+    for (size_t x = 0; x <= m; ++x) row[x] = static_cast<uint32_t>(x);
     for (size_t y = 1; y <= n; ++y) {
-      uint32_t diag = row_[0];
-      row_[0] = static_cast<uint32_t>(y);
+      uint32_t diag = row[0];
+      row[0] = static_cast<uint32_t>(y);
       for (size_t x = 1; x <= m; ++x) {
         const uint32_t sub = diag + (sa[x - 1] != sb[y - 1] ? 1 : 0);
-        diag = row_[x];
-        row_[x] = std::min({row_[x] + 1, row_[x - 1] + 1, sub});
+        diag = row[x];
+        row[x] = std::min({row[x] + 1, row[x - 1] + 1, sub});
       }
     }
-    stats_.ops += static_cast<uint64_t>(m) * n;
-    return static_cast<float>(row_[m]);
+    AddOps(static_cast<uint64_t>(m) * n);
+    return static_cast<float>(row[m]);
   }
 
- private:
-  mutable std::vector<uint32_t> row_;  // scratch; single-threaded simulator
 };
 
 }  // namespace

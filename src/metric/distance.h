@@ -5,6 +5,7 @@
 #ifndef GTS_METRIC_DISTANCE_H_
 #define GTS_METRIC_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -29,8 +30,9 @@ const char* MetricKindName(MetricKind kind);
 /// it the simulator prices brute force as nearly free at laptop scale.
 inline constexpr uint64_t kDistanceCallOps = 12;
 
-/// Cumulative work counters for one metric instance. Single-threaded
-/// simulator ⇒ plain integers suffice.
+/// Cumulative work counters for one metric instance — a snapshot of the
+/// metric's internal atomic counters, so concurrent query threads can share
+/// one metric (counts accumulate with relaxed ordering).
 struct DistanceStats {
   uint64_t calls = 0;  ///< number of distance evaluations
   uint64_t ops = 0;    ///< elementary operations (dim or DP cells, plus
@@ -45,10 +47,12 @@ class DistanceMetric {
   virtual ~DistanceMetric() = default;
 
   /// Distance between object `i` of `a` and object `j` of `b`.
+  /// Thread-safe: implementations keep no shared mutable scratch and the
+  /// work counters are atomic.
   float Distance(const Dataset& a, uint32_t i, const Dataset& b,
                  uint32_t j) const {
-    ++stats_.calls;
-    stats_.ops += kDistanceCallOps;
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    AddOps(kDistanceCallOps);
     return DistanceImpl(a, i, b, j);
   }
 
@@ -63,14 +67,27 @@ class DistanceMetric {
   /// True if this metric applies to datasets of the given kind.
   virtual bool SupportsKind(DataKind kind) const = 0;
 
-  const DistanceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DistanceStats{}; }
+  DistanceStats stats() const {
+    return DistanceStats{calls_.load(std::memory_order_relaxed),
+                         ops_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    calls_.store(0, std::memory_order_relaxed);
+    ops_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   virtual float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
                              uint32_t j) const = 0;
 
-  mutable DistanceStats stats_;
+  /// Implementations report their measured elementary operations here.
+  void AddOps(uint64_t n) const {
+    ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<uint64_t> ops_{0};
 };
 
 /// Factory for the metrics used by the paper's five datasets.

@@ -1,0 +1,197 @@
+#include "serve/query_executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gts::serve {
+
+namespace {
+
+/// Completion latch for one submitted batch: workers count the batch's
+/// shards down, the submitter blocks until zero.
+struct BatchLatch {
+  std::mutex m;
+  std::condition_variable cv;
+  size_t remaining = 0;
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(m);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const GtsIndex* index, ExecutorOptions options)
+    : index_(index), options_(options) {
+  uint32_t n = options_.num_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryExecutor::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void QueryExecutor::RunAll(std::vector<std::function<void()>>* tasks) {
+  if (tasks->empty()) return;
+  BatchLatch latch;
+  latch.remaining = tasks->size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& t : *tasks) {
+      queue_.push_back([&latch, fn = std::move(t)] {
+        fn();
+        latch.CountDown();
+      });
+    }
+  }
+  work_cv_.notify_all();
+  latch.Wait();
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> QueryExecutor::ShardBounds(
+    uint32_t n) const {
+  std::vector<std::pair<uint32_t, uint32_t>> bounds;
+  if (n == 0) return bounds;
+  uint32_t shard = options_.shard_size;
+  if (shard == 0) {
+    // ~4 shards per worker: coarse enough to amortize per-shard overhead,
+    // fine enough that the tail shard cannot dominate the makespan.
+    const uint32_t target = num_threads() * 4;
+    shard = std::max(1u, (n + target - 1) / target);
+  }
+  bounds.reserve((n + shard - 1) / shard);
+  for (uint32_t begin = 0; begin < n; begin += shard) {
+    bounds.emplace_back(begin, std::min(n, begin + shard));
+  }
+  return bounds;
+}
+
+Status QueryExecutor::RunSharded(
+    const std::vector<std::pair<uint32_t, uint32_t>>& bounds,
+    const std::function<Status(size_t, uint32_t, uint32_t)>& run_shard) {
+  std::vector<Status> statuses(bounds.size(), Status::Ok());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(bounds.size());
+  for (size_t si = 0; si < bounds.size(); ++si) {
+    tasks.push_back([&, si] {
+      statuses[si] = run_shard(si, bounds[si].first, bounds[si].second);
+    });
+  }
+  RunAll(&tasks);
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<RangeResults> QueryExecutor::RangeQueryBatch(
+    const Dataset& queries, std::span<const float> radii,
+    GtsQueryStats* stats_out) {
+  // The prechecks mirror GtsIndex's own validation on purpose, not
+  // redundantly: an invalid *empty* batch spawns no shards, so only this
+  // layer can return the same status the single-threaded call would; and
+  // the radii length must be proven before the per-shard subspan below.
+  // (The unlocked index_->data() read is safe because CompatibleWith only
+  // touches the dataset's immutable kind/dim.)
+  if (queries.size() != radii.size()) {
+    return Status::InvalidArgument("one radius per query required");
+  }
+  if (!queries.CompatibleWith(index_->data())) {
+    return Status::InvalidArgument("query objects incompatible with dataset");
+  }
+  RangeResults out(queries.size());
+  const auto bounds = ShardBounds(queries.size());
+  std::vector<GtsQueryStats> shard_stats(bounds.size());
+  GTS_RETURN_IF_ERROR(RunSharded(
+      bounds, [&](size_t si, uint32_t begin, uint32_t end) -> Status {
+        std::vector<uint32_t> ids(end - begin);
+        std::iota(ids.begin(), ids.end(), begin);
+        const Dataset shard = queries.Slice(ids);
+        auto res = index_->RangeQueryBatch(
+            shard, radii.subspan(begin, end - begin), &shard_stats[si]);
+        if (!res.ok()) return res.status();
+        for (uint32_t q = begin; q < end; ++q) {
+          out[q] = std::move(res.value()[q - begin]);
+        }
+        return Status::Ok();
+      }));
+  if (stats_out != nullptr) {
+    *stats_out = GtsQueryStats{};
+    for (const GtsQueryStats& s : shard_stats) *stats_out += s;
+  }
+  return out;
+}
+
+Result<KnnResults> QueryExecutor::KnnQueryBatch(const Dataset& queries,
+                                                uint32_t k,
+                                                GtsQueryStats* stats_out) {
+  return KnnQueryBatchApprox(queries, k, /*candidate_fraction=*/1.0,
+                             stats_out);
+}
+
+Result<KnnResults> QueryExecutor::KnnQueryBatchApprox(
+    const Dataset& queries, uint32_t k, double candidate_fraction,
+    GtsQueryStats* stats_out) {
+  // See RangeQueryBatch for why the prechecks are repeated here; the
+  // fraction check additionally guards the exact/approx branch below.
+  if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
+    return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
+  }
+  if (!queries.CompatibleWith(index_->data())) {
+    return Status::InvalidArgument("query objects incompatible with dataset");
+  }
+  KnnResults out(queries.size());
+  const auto bounds = ShardBounds(queries.size());
+  std::vector<GtsQueryStats> shard_stats(bounds.size());
+  GTS_RETURN_IF_ERROR(RunSharded(
+      bounds, [&](size_t si, uint32_t begin, uint32_t end) -> Status {
+        std::vector<uint32_t> ids(end - begin);
+        std::iota(ids.begin(), ids.end(), begin);
+        const Dataset shard = queries.Slice(ids);
+        auto res = candidate_fraction < 1.0
+                       ? index_->KnnQueryBatchApprox(shard, k,
+                                                     candidate_fraction,
+                                                     &shard_stats[si])
+                       : index_->KnnQueryBatch(shard, k, &shard_stats[si]);
+        if (!res.ok()) return res.status();
+        for (uint32_t q = begin; q < end; ++q) {
+          out[q] = std::move(res.value()[q - begin]);
+        }
+        return Status::Ok();
+      }));
+  if (stats_out != nullptr) {
+    *stats_out = GtsQueryStats{};
+    for (const GtsQueryStats& s : shard_stats) *stats_out += s;
+  }
+  return out;
+}
+
+}  // namespace gts::serve

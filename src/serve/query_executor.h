@@ -1,0 +1,99 @@
+// Multi-threaded batch query executor — the concurrent serving layer on top
+// of GtsIndex's thread-safe read path. A large query batch is split into
+// shards, the shards are fanned out over a persistent worker-thread pool,
+// and the per-shard results are merged back in input order. Per-query
+// results are byte-identical to the single-threaded RangeQueryBatch /
+// KnnQueryBatch (each query's descent depends only on its own state).
+//
+// Streaming updates may interleave with executor batches: GtsIndex's
+// internal shared/exclusive lock serializes Insert/Remove/BatchUpdate/
+// Rebuild against in-flight shards. Each *shard* observes a consistent
+// snapshot of the index; a multi-shard batch as a whole does not (an update
+// can land between two shards of the same batch).
+#ifndef GTS_SERVE_QUERY_EXECUTOR_H_
+#define GTS_SERVE_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/gts.h"
+
+namespace gts::serve {
+
+struct ExecutorOptions {
+  /// Worker threads. 0 = std::thread::hardware_concurrency() (at least 1).
+  uint32_t num_threads = 0;
+  /// Queries per shard. 0 = auto: the batch is split into about four shards
+  /// per worker, so a straggling last shard stays short.
+  uint32_t shard_size = 0;
+};
+
+/// One executor serves one index. The executor itself is thread-safe: any
+/// number of caller threads may submit batches concurrently; shards from
+/// all in-flight batches share the same worker pool.
+class QueryExecutor {
+ public:
+  /// `index` must outlive the executor.
+  explicit QueryExecutor(const GtsIndex* index, ExecutorOptions options = {});
+  ~QueryExecutor();
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Sharded batched range query; results in input order, identical to
+  /// GtsIndex::RangeQueryBatch. `stats_out` (optional) receives the summed
+  /// per-shard counters of this call.
+  Result<RangeResults> RangeQueryBatch(const Dataset& queries,
+                                       std::span<const float> radii,
+                                       GtsQueryStats* stats_out = nullptr);
+
+  /// Sharded batched kNN query; results in input order, identical to
+  /// GtsIndex::KnnQueryBatch.
+  Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
+                                   GtsQueryStats* stats_out = nullptr);
+
+  /// Sharded approximate kNN (GtsIndex::KnnQueryBatchApprox).
+  Result<KnnResults> KnnQueryBatchApprox(const Dataset& queries, uint32_t k,
+                                         double candidate_fraction,
+                                         GtsQueryStats* stats_out = nullptr);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  const GtsIndex* index() const { return index_; }
+
+  /// The [begin, end) query ranges a batch of `n` queries is split into.
+  /// Exposed for tests and the serve bench's makespan model.
+  std::vector<std::pair<uint32_t, uint32_t>> ShardBounds(uint32_t n) const;
+
+ private:
+  /// Runs all tasks on the pool and blocks until every one completed.
+  void RunAll(std::vector<std::function<void()>>* tasks);
+  void WorkerLoop();
+
+  /// Fans the precomputed shard `bounds` out on the pool, calling
+  /// `run_shard(shard_index, begin, end)` for each, and returns the first
+  /// failing shard's status (by shard order).
+  Status RunSharded(const std::vector<std::pair<uint32_t, uint32_t>>& bounds,
+                    const std::function<Status(size_t, uint32_t, uint32_t)>&
+                        run_shard);
+
+  const GtsIndex* index_;
+  ExecutorOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gts::serve
+
+#endif  // GTS_SERVE_QUERY_EXECUTOR_H_
