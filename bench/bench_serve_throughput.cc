@@ -11,16 +11,34 @@
 //     order); throughput = batch / makespan. This keeps the series
 //     host-independent — the repo's usual simulated-throughput convention —
 //     while the latency columns stay honest wall time.
+//
+// `--streaming` additionally runs an open-loop streaming phase on T-Loc:
+// single queries pour into a QuerySession (batch budget 64, bounded queue,
+// reject admission) with an insert every 128 reads, against a pre-batched
+// reference run of the same workload through the executor. Recorded as
+// `gts-serve-stream/...` series: streamed/pre-batched modeled throughput,
+// wall p50/p95 submit→complete latency, writer wall p50/p95, and the
+// admission-reject rate (in percent, reported in the latency fields of
+// the reject-rate series so that growth warns). The stream series depend
+// on host scheduling — CI gates them warn-only, unlike the modeled
+// classic series.
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
 #include "common/timer.h"
 #include "core/gts.h"
 #include "serve/query_executor.h"
+#include "serve/query_session.h"
 
 using namespace gts;
 
@@ -113,9 +131,280 @@ void Record(const bench::BenchEnv& env, std::string_view op, uint32_t threads,
   bench::GlobalReporter().AddResult(res);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming (open-loop) phase.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kStreamThreads = 8;
+constexpr uint32_t kStreamBudget = 64;  ///< the batcher's max_batch
+constexpr uint32_t kStreamReads = 2048;
+constexpr uint32_t kStreamInsertEvery = 128;  ///< one writer per this many reads
+
+struct StreamResult {
+  double qpm_model = 0.0;  ///< completed / sim-clock delta
+  double p50_ms = 0.0;     ///< wall submit→complete, completed reads only
+  double p95_ms = 0.0;
+  double writer_p50_ms = 0.0;
+  double writer_p95_ms = 0.0;
+  double reject_pct = 0.0;
+  uint64_t completed = 0;
+  uint64_t attempted = 0;
+  std::vector<uint32_t> inserted_ids;
+};
+
+void RecordStream(const bench::BenchEnv& env, std::string_view op,
+                  uint64_t samples, double p50_ms, double p95_ms,
+                  double throughput) {
+  bench::BenchResult res;
+  res.name = bench::SeriesName(
+      "gts-serve-stream", op,
+      "b=" + std::to_string(kStreamBudget) + ",threads=" +
+          std::to_string(kStreamThreads));
+  res.dataset = env.spec->name;
+  res.samples = samples;
+  res.p50_latency_ms = p50_ms;
+  res.p95_latency_ms = p95_ms;
+  res.throughput_per_min = throughput;
+  bench::GlobalReporter().AddResult(res);
+}
+
+/// Open-loop run: a submitter pours kStreamReads single range queries into
+/// the session as fast as it can (no waiting on completions), with an
+/// insert work item every kStreamInsertEvery reads; a collector consumes
+/// the futures in FIFO order, timing submit→complete per query.
+StreamResult StreamRange(const bench::BenchEnv& env, GtsIndex* index,
+                         serve::QueryExecutor* exec, const Dataset& queries,
+                         float radius) {
+  using SteadyClock = std::chrono::steady_clock;
+  serve::SessionOptions opts;
+  opts.max_batch = kStreamBudget;
+  opts.max_wait_micros = 200;
+  opts.max_queue = 4 * kStreamBudget;
+  opts.admission = serve::AdmissionPolicy::kReject;
+  serve::QuerySession session(index, exec, opts);
+
+  struct Pending {
+    std::future<Result<std::vector<uint32_t>>> fut;
+    SteadyClock::time_point submitted;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool done_submitting = false;
+
+  StreamResult r;
+  std::vector<double> latencies_ms;
+  std::thread collector([&] {
+    for (;;) {
+      Pending item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || done_submitting; });
+        if (pending.empty()) return;
+        item = Pending{std::move(pending.front().fut),
+                       pending.front().submitted};
+        pending.pop_front();
+      }
+      auto res = item.fut.get();
+      const auto now = SteadyClock::now();
+      if (res.ok()) {
+        ++r.completed;
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - item.submitted)
+                .count());
+      }
+    }
+  });
+
+  // Writer futures get their own collector so writer latency is measured
+  // at completion, not after the read collector has drained everything.
+  struct PendingWrite {
+    std::future<Result<uint32_t>> fut;
+    SteadyClock::time_point submitted;
+  };
+  std::mutex wmu;
+  std::condition_variable wcv;
+  std::deque<PendingWrite> wpending;
+  bool wdone_submitting = false;
+  std::vector<double> writer_ms;
+  std::thread writer_collector([&] {
+    for (;;) {
+      PendingWrite item;
+      {
+        std::unique_lock<std::mutex> lock(wmu);
+        wcv.wait(lock, [&] { return !wpending.empty() || wdone_submitting; });
+        if (wpending.empty()) return;
+        item = PendingWrite{std::move(wpending.front().fut),
+                            wpending.front().submitted};
+        wpending.pop_front();
+      }
+      auto res = item.fut.get();
+      writer_ms.push_back(std::chrono::duration<double, std::milli>(
+                              SteadyClock::now() - item.submitted)
+                              .count());
+      if (res.ok()) r.inserted_ids.push_back(res.value());
+    }
+  });
+
+  const double sim0 = env.device->clock().ElapsedSeconds();
+  for (uint32_t i = 0; i < kStreamReads; ++i) {
+    const auto submitted = SteadyClock::now();
+    auto fut = session.SubmitRange(queries, i % queries.size(), radius);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(Pending{std::move(fut), submitted});
+    }
+    cv.notify_one();
+    if ((i + 1) % kStreamInsertEvery == 0) {
+      auto wfut = session.SubmitInsert(
+          env.data, (i / kStreamInsertEvery) % env.data.size());
+      {
+        std::lock_guard<std::mutex> lock(wmu);
+        wpending.push_back(PendingWrite{std::move(wfut), SteadyClock::now()});
+      }
+      wcv.notify_one();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done_submitting = true;
+  }
+  cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(wmu);
+    wdone_submitting = true;
+  }
+  wcv.notify_all();
+  collector.join();
+  writer_collector.join();
+  session.Drain();
+  const double sim_delta = env.device->clock().ElapsedSeconds() - sim0;
+
+  r.attempted = kStreamReads;
+  r.qpm_model = bench::ThroughputPerMin(
+      static_cast<uint32_t>(r.completed), sim_delta);
+  r.p50_ms = PercentileMs(latencies_ms, 0.50);
+  r.p95_ms = PercentileMs(latencies_ms, 0.95);
+  r.writer_p50_ms = PercentileMs(writer_ms, 0.50);
+  r.writer_p95_ms = PercentileMs(writer_ms, 0.95);
+  r.reject_pct = 100.0 *
+                 static_cast<double>(r.attempted - r.completed) /
+                 static_cast<double>(r.attempted);
+  return r;
+}
+
+/// The equivalent pre-batched run: the same reads in pre-formed
+/// kStreamBudget-query batches through the executor, the same inserts
+/// interleaved every kStreamInsertEvery reads.
+StreamResult PrebatchedRange(const bench::BenchEnv& env, GtsIndex* index,
+                             serve::QueryExecutor* exec,
+                             const Dataset& queries, float radius) {
+  StreamResult r;
+  std::vector<double> batch_ms;
+  const double sim0 = env.device->clock().ElapsedSeconds();
+  for (uint32_t begin = 0; begin < kStreamReads; begin += kStreamBudget) {
+    std::vector<uint32_t> ids(kStreamBudget);
+    for (uint32_t i = 0; i < kStreamBudget; ++i) {
+      ids[i] = (begin + i) % queries.size();
+    }
+    const Dataset batch = queries.Slice(ids);
+    const std::vector<float> radii(batch.size(), radius);
+    WallTimer timer;
+    auto res = exec->RangeQueryBatch(batch, radii);
+    batch_ms.push_back(timer.ElapsedSeconds() * 1e3 /
+                       static_cast<double>(kStreamBudget));
+    if (res.ok()) r.completed += kStreamBudget;
+    const uint32_t done = begin + kStreamBudget;
+    if (done % kStreamInsertEvery == 0) {
+      auto inserted = index->Insert(
+          env.data, (done / kStreamInsertEvery - 1) % env.data.size());
+      if (inserted.ok()) r.inserted_ids.push_back(inserted.value());
+    }
+  }
+  const double sim_delta = env.device->clock().ElapsedSeconds() - sim0;
+  r.attempted = kStreamReads;
+  r.qpm_model = bench::ThroughputPerMin(
+      static_cast<uint32_t>(r.completed), sim_delta);
+  r.p50_ms = PercentileMs(batch_ms, 0.50);
+  r.p95_ms = PercentileMs(batch_ms, 0.95);
+  return r;
+}
+
+/// Removes a run's inserts and rebuilds, returning the index to its
+/// pre-run content (deterministic builder: same alive set + seed → same
+/// tree), so consecutive runs measure identical work.
+void RemoveInserted(GtsIndex* index, const bench::BenchEnv& env,
+                    const std::vector<uint32_t>& ids) {
+  const Dataset no_inserts = env.data.Slice(std::vector<uint32_t>{});
+  (void)index->BatchUpdate(no_inserts, ids);
+}
+
+void RunStreamingPhase(const bench::BenchEnv& env, GtsIndex* index) {
+  const float r = bench::RadiusForStep(env, kDefaultRadiusStep);
+  const Dataset queries = SampleQueries(env.data, kServeBatch, 5);
+  serve::QueryExecutor exec(index,
+                            serve::ExecutorOptions{kStreamThreads, 0});
+
+  std::printf("%s streaming (open loop): %u reads, budget %u, insert every "
+              "%u reads, %u threads\n",
+              env.spec->name, kStreamReads, kStreamBudget, kStreamInsertEvery,
+              kStreamThreads);
+
+  StreamResult pre = PrebatchedRange(env, index, &exec, queries, r);
+  RemoveInserted(index, env, pre.inserted_ids);
+  StreamResult stream = StreamRange(env, index, &exec, queries, r);
+  RemoveInserted(index, env, stream.inserted_ids);
+
+  RecordStream(env, "mrq-prebatched", pre.completed, pre.p50_ms, pre.p95_ms,
+               pre.qpm_model);
+  RecordStream(env, "mrq", stream.completed, stream.p50_ms, stream.p95_ms,
+               stream.qpm_model);
+  RecordStream(env, "writer", stream.inserted_ids.size(),
+               stream.writer_p50_ms, stream.writer_p95_ms,
+               stream.inserted_ids.empty() ? 0.0
+                                           : stream.qpm_model /
+                                                 static_cast<double>(
+                                                     kStreamInsertEvery));
+  // The reject percentage rides in the latency fields, not
+  // throughput_per_min: lower-is-better numbers in the throughput field
+  // would invert diff_bench's regression direction (a falling reject rate
+  // would read as a throughput drop). As "latency", growth warns — the
+  // right direction for a rising reject rate.
+  RecordStream(env, "reject-rate", stream.attempted, stream.reject_pct,
+               stream.reject_pct, 0.0);
+
+  const double ratio =
+      pre.qpm_model > 0.0 ? stream.qpm_model / pre.qpm_model : 0.0;
+  std::printf("  %-16s %14s q/min  p50 %8.4f ms  p95 %8.4f ms\n",
+              "pre-batched", bench::FormatThroughput(pre.qpm_model).c_str(),
+              pre.p50_ms, pre.p95_ms);
+  std::printf("  %-16s %14s q/min  p50 %8.4f ms  p95 %8.4f ms\n",
+              "streamed", bench::FormatThroughput(stream.qpm_model).c_str(),
+              stream.p50_ms, stream.p95_ms);
+  std::printf("  writer p50 %.4f ms, p95 %.4f ms over %zu inserts; "
+              "admission-reject rate %.2f%% (%llu of %llu completed)\n",
+              stream.writer_p50_ms, stream.writer_p95_ms,
+              stream.inserted_ids.size(), stream.reject_pct,
+              static_cast<unsigned long long>(stream.completed),
+              static_cast<unsigned long long>(stream.attempted));
+  std::printf("  streamed/pre-batched modeled throughput: %.3fx "
+              "(coalescing target >= 0.9x)\n\n",
+              ratio);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool streaming = false;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
+      for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+      argv[--argc] = nullptr;
+    } else {
+      ++i;
+    }
+  }
   bench::JsonOutput json_out(&argc, argv, "serve_throughput");
   std::printf("Serve throughput: QueryExecutor sharding a %u-query batch "
               "over worker threads\n(queries/min = modeled parallel "
@@ -189,6 +478,10 @@ int main(int argc, char** argv) {
     }
     std::printf("  8-thread MRQ speedup over 1 thread: %.2fx\n\n",
                 mrq_qpm_1 > 0.0 ? mrq_qpm_8 / mrq_qpm_1 : 0.0);
+
+    if (streaming && id == DatasetId::kTLoc) {
+      RunStreamingPhase(env, index.get());
+    }
   }
   bench::PrintRule('=');
   std::printf("Shape checks: modeled throughput scales near-linearly in "

@@ -3,6 +3,7 @@
 
 Usage:
     diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+                  [--warn-only REGEX]
     diff_bench.py --self-test
 
 Series are keyed on (name, dataset). Exit status:
@@ -13,10 +14,16 @@ Series are keyed on (name, dataset). Exit status:
 
 Latency growth beyond the threshold is reported as a warning only: the
 gate is throughput, per the ROADMAP's perf-trajectory-tracking item.
+
+Series whose name matches --warn-only (an unanchored regex) are annotated
+but never fail the diff — for host-dependent series (wall-clock or
+scheduling-sensitive numbers, e.g. the `gts-serve-stream/` open-loop
+series) checked in next to deterministic modeled-throughput baselines.
 """
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA = "gts-bench-v1"
@@ -53,20 +60,32 @@ def load_results(path):
     return results
 
 
-def diff(baseline, candidate, threshold):
-    """Compares the two result maps; returns (regressions, warnings, notes)."""
+def diff(baseline, candidate, threshold, warn_only=None):
+    """Compares the two result maps; returns (regressions, warnings, notes).
+
+    `warn_only` (compiled regex or None) demotes regressions on matching
+    series names to warnings.
+    """
     regressions, warnings, notes = [], [], []
+
+    def report_regression(key, message):
+        if warn_only is not None and warn_only.search(key[0]):
+            warnings.append(f"{message} [warn-only series]")
+        else:
+            regressions.append(message)
+
     for key, base in sorted(baseline.items()):
         name = f"{key[0]} [{key[1]}]"
         cand = candidate.get(key)
         if cand is None:
-            regressions.append(f"{name}: missing from candidate")
+            report_regression(key, f"{name}: missing from candidate")
             continue
         b, c = base["throughput_per_min"], cand["throughput_per_min"]
         if b > 0.0 and c < b * (1.0 - threshold):
-            regressions.append(
+            report_regression(
+                key,
                 f"{name}: throughput {b:.4g} -> {c:.4g} "
-                f"({(c / b - 1.0) * 100.0:+.1f}%)"
+                f"({(c / b - 1.0) * 100.0:+.1f}%)",
             )
         bp, cp = base["p95_latency_ms"], cand["p95_latency_ms"]
         if bp > 0.0 and cp > bp * (1.0 + threshold):
@@ -79,10 +98,12 @@ def diff(baseline, candidate, threshold):
     return regressions, warnings, notes
 
 
-def run_diff(baseline_path, candidate_path, threshold):
+def run_diff(baseline_path, candidate_path, threshold, warn_only=None):
     baseline = load_results(baseline_path)
     candidate = load_results(candidate_path)
-    regressions, warnings, notes = diff(baseline, candidate, threshold)
+    pattern = re.compile(warn_only) if warn_only else None
+    regressions, warnings, notes = diff(baseline, candidate, threshold,
+                                        pattern)
     for line in notes:
         print(f"NOTE     {line}")
     for line in warnings:
@@ -165,11 +186,29 @@ def self_test():
         check("regressed", run_diff(base, bad, 0.10), 1)
         # The same drop passes under a looser threshold.
         check("loose-threshold", run_diff(base, bad, 0.20), 0)
+        # ... and is demoted to a warning when the series is warn-only.
+        check(
+            "warn-only-match",
+            run_diff(base, bad, 0.10, warn_only=r"gts/mrq"),
+            0,
+        )
+        # A warn-only pattern that does not match still fails the diff.
+        check(
+            "warn-only-miss",
+            run_diff(base, bad, 0.10, warn_only=r"stream"),
+            1,
+        )
 
-        # Missing baseline series in the candidate: regression.
+        # Missing baseline series in the candidate: regression — unless the
+        # missing series is warn-only.
         missing = os.path.join(d, "missing.json")
         write(missing, [_record("gts/mrq@b=64", "T-Loc", 1000.0)])
         check("missing-series", run_diff(base, missing, 0.10), 1)
+        check(
+            "missing-warn-only",
+            run_diff(base, missing, 0.10, warn_only=r"knn"),
+            0,
+        )
 
         # Latency growth alone: warning, not a failure.
         slow = os.path.join(d, "slow.json")
@@ -239,6 +278,11 @@ def main(argv):
         help="fractional throughput drop that fails the diff (default 0.10)",
     )
     parser.add_argument(
+        "--warn-only",
+        metavar="REGEX",
+        help="series names matching this regex are annotated, never failed",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in fixture round-trip suite",
@@ -253,8 +297,15 @@ def main(argv):
     if not 0.0 <= args.threshold < 1.0:
         print("--threshold must be in [0, 1)", file=sys.stderr)
         return 2
+    if args.warn_only is not None:
+        try:
+            re.compile(args.warn_only)
+        except re.error as e:
+            print(f"--warn-only: bad regex: {e}", file=sys.stderr)
+            return 2
     try:
-        return run_diff(args.baseline, args.candidate, args.threshold)
+        return run_diff(args.baseline, args.candidate, args.threshold,
+                        args.warn_only)
     except ValueError as e:
         print(str(e), file=sys.stderr)
         return 2

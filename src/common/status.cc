@@ -10,6 +10,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlock: return "Deadlock";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

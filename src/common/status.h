@@ -17,6 +17,7 @@ enum class StatusCode {
   kDeadlock,      ///< fixed-buffer overflow in a GPU method (paper: memory deadlock)
   kUnsupported,   ///< method does not support this metric / data kind
   kNotFound,
+  kResourceExhausted,  ///< admission control refused the work (queue full)
   kInternal,
 };
 
@@ -46,6 +47,9 @@ class Status {
   }
   static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

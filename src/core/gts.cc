@@ -87,13 +87,60 @@ void GtsIndex::ResetQueryStats() {
   stat_groups_.store(0, std::memory_order_relaxed);
 }
 
-void GtsIndex::AccumulateStats(const GtsQueryStats& s,
+void GtsIndex::AccumulateStats(const QueryContext& ctx,
                                GtsQueryStats* stats_out) const {
+  const GtsQueryStats& s = ctx.stats;
   stat_distances_.fetch_add(s.distance_computations, std::memory_order_relaxed);
   stat_nodes_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
   stat_objects_.fetch_add(s.objects_verified, std::memory_order_relaxed);
   stat_groups_.fetch_add(s.query_groups, std::memory_order_relaxed);
+  device_->clock().MergeConcurrent(ctx.start_ns, ctx.clock.ElapsedNs(),
+                                   ctx.clock.kernels_launched());
   if (stats_out != nullptr) *stats_out = s;
+}
+
+Result<std::vector<uint32_t>> GtsIndex::RangeQuery(
+    const Dataset& queries, uint32_t idx, float radius,
+    GtsQueryStats* stats_out) const {
+  if (idx >= queries.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  const uint32_t ids[] = {idx};
+  const float radii[] = {radius};
+  auto res = RangeQueryBatch(queries.Slice(ids), radii, stats_out);
+  if (!res.ok()) return res.status();
+  return std::move(res.value()[0]);
+}
+
+Result<std::vector<Neighbor>> GtsIndex::KnnQuery(
+    const Dataset& queries, uint32_t idx, uint32_t k,
+    GtsQueryStats* stats_out) const {
+  if (idx >= queries.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  const uint32_t ids[] = {idx};
+  auto res = KnnQueryBatch(queries.Slice(ids), k, stats_out);
+  if (!res.ok()) return res.status();
+  return std::move(res.value()[0]);
+}
+
+Result<RangeResults> GtsIndex::ReadSnapshot::RangeQueryBatch(
+    const Dataset& queries, std::span<const float> radii,
+    GtsQueryStats* stats_out) const {
+  return index_->RangeQueryBatchUnlocked(queries, radii, stats_out);
+}
+
+Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatch(
+    const Dataset& queries, uint32_t k, GtsQueryStats* stats_out) const {
+  return index_->KnnQueryBatchUnlocked(queries, k, /*candidate_fraction=*/1.0,
+                                       stats_out);
+}
+
+Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatchApprox(
+    const Dataset& queries, uint32_t k, double candidate_fraction,
+    GtsQueryStats* stats_out) const {
+  return index_->KnnQueryBatchUnlocked(queries, k, candidate_fraction,
+                                       stats_out);
 }
 
 Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {

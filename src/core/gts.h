@@ -7,7 +7,9 @@
 // Thread-safety: the batched queries are const and may run concurrently from
 // any number of threads; the update strategies (Insert/Remove/BatchUpdate/
 // Rebuild) take an internal writer lock and safely interleave with in-flight
-// queries. See serve/query_executor.h for the multi-threaded batch executor.
+// queries. See serve/query_executor.h for the multi-threaded batch executor
+// and serve/query_session.h for the streaming (per-query) submission front
+// door with admission control.
 //
 // Typical use:
 //   auto device = std::make_unique<gpu::Device>();
@@ -122,6 +124,59 @@ class GtsIndex {
                                          double candidate_fraction,
                                          GtsQueryStats* stats_out = nullptr) const;
 
+  /// Single-query conveniences over the same per-call context path: query
+  /// object `idx` of `queries`, one result vector. Results are identical to
+  /// the corresponding entry of a batched call (each query's descent
+  /// depends only on its own state). The streaming serve layer
+  /// (serve/query_session.h) is the batching front door for callers with
+  /// many independent single queries.
+  Result<std::vector<uint32_t>> RangeQuery(const Dataset& queries,
+                                           uint32_t idx, float radius,
+                                           GtsQueryStats* stats_out = nullptr) const;
+  Result<std::vector<Neighbor>> KnnQuery(const Dataset& queries, uint32_t idx,
+                                         uint32_t k,
+                                         GtsQueryStats* stats_out = nullptr) const;
+
+  /// A pinned read view with cross-batch snapshot semantics: holds the
+  /// index's shared lock from construction to destruction, so *every*
+  /// query through it — any number, from any thread — observes the same
+  /// tree/liveness/cache state. (A plain multi-batch or multi-shard
+  /// sequence has no such guarantee: an update can land between two
+  /// calls.) Acquire and destroy on the same thread (shared-lock ownership
+  /// is per-thread); the query calls themselves may run on other threads
+  /// while the snapshot is held, which is how the streaming serve layer
+  /// fans a flush cycle out over a worker pool. Do not call the update
+  /// strategies from the holding thread while a snapshot is live
+  /// (self-deadlock); updates from other threads simply wait.
+  class ReadSnapshot {
+   public:
+    ReadSnapshot(ReadSnapshot&&) = default;
+    ReadSnapshot& operator=(ReadSnapshot&&) = default;
+    ReadSnapshot(const ReadSnapshot&) = delete;
+    ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+    Result<RangeResults> RangeQueryBatch(
+        const Dataset& queries, std::span<const float> radii,
+        GtsQueryStats* stats_out = nullptr) const;
+    Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
+                                     GtsQueryStats* stats_out = nullptr) const;
+    Result<KnnResults> KnnQueryBatchApprox(
+        const Dataset& queries, uint32_t k, double candidate_fraction,
+        GtsQueryStats* stats_out = nullptr) const;
+
+   private:
+    friend class GtsIndex;
+    explicit ReadSnapshot(const GtsIndex* index)
+        : index_(index), lock_(index->mu_) {}
+
+    const GtsIndex* index_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  /// Acquires the shared lock and returns the pinned view. Blocks while an
+  /// update is in flight, like any query.
+  ReadSnapshot SnapshotForRead() const { return ReadSnapshot(this); }
+
   // --- Updates (exclusive writers) --------------------------------------
   // Update calls take the index lock exclusively and may therefore safely
   // interleave with in-flight queries from other threads; concurrent update
@@ -197,13 +252,24 @@ class GtsIndex {
     float parent_dq;
   };
 
-  /// Per-call scratch of one batched query: its counters plus the
-  /// approximate-mode candidate budget. Everything a query mutates lives
-  /// here (or in function-local buffers), which is what makes the read
-  /// path const and data-race-free.
+  /// Per-call scratch of one batched query: its counters, the
+  /// approximate-mode candidate budget, and a private simulated-time
+  /// accumulator. Everything a query mutates lives here (or in
+  /// function-local buffers), which is what makes the read path const and
+  /// data-race-free. Every kernel the call runs charges the context clock;
+  /// AccumulateStats folds the total into the shared device clock as a
+  /// concurrent sub-timeline (SimClock::MergeConcurrent), so overlapping
+  /// query calls model parallel device occupancy (max) instead of
+  /// over-charging the shared clock with their sum.
   struct QueryContext {
+    explicit QueryContext(const gpu::Device& device)
+        : clock(device.clock().config()),
+          start_ns(device.clock().ElapsedNs()) {}
+
     GtsQueryStats stats;
     double candidate_fraction = 1.0;  ///< leaf-verification budget (1 = exact)
+    gpu::SimClock clock;              ///< this call's elapsed accumulator
+    double start_ns = 0.0;  ///< shared-clock reading at call start
   };
 
   /// Per-query running top-k state for MkNNQ (deduplicated by object id so
@@ -226,6 +292,11 @@ class GtsIndex {
   uint32_t SelectPivotFft(uint64_t node_id, Rng* rng);
 
   // search_range.cc ---------------------------------------------------
+  /// Query bodies shared by the locked public entry points and the
+  /// ReadSnapshot view; the caller must hold `mu_` (shared or exclusive).
+  Result<RangeResults> RangeQueryBatchUnlocked(const Dataset& queries,
+                                               std::span<const float> radii,
+                                               GtsQueryStats* stats_out) const;
   Status RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                     const Dataset& queries, std::span<const float> radii,
                     RangeResults* out, QueryContext* ctx) const;
@@ -236,6 +307,11 @@ class GtsIndex {
                         RangeResults* out, QueryContext* ctx) const;
 
   // search_knn.cc -------------------------------------------------------
+  /// See RangeQueryBatchUnlocked; candidate_fraction = 1.0 is the exact
+  /// query.
+  Result<KnnResults> KnnQueryBatchUnlocked(const Dataset& queries, uint32_t k,
+                                           double candidate_fraction,
+                                           GtsQueryStats* stats_out) const;
   Result<KnnResults> KnnQueryBatchImpl(const Dataset& queries, uint32_t k,
                                        QueryContext* ctx) const;
   Status KnnLevel(std::span<const Entry> frontier, uint32_t layer,
@@ -258,9 +334,11 @@ class GtsIndex {
   Status UpdateResidentBytes();
   /// Rebuild body; the caller must hold `mu_` exclusively.
   Status RebuildLocked();
-  /// Folds one call's counters into the atomic aggregate and copies them to
-  /// `stats_out` when requested.
-  void AccumulateStats(const GtsQueryStats& s, GtsQueryStats* stats_out) const;
+  /// Completes one query call: folds its counters into the atomic
+  /// aggregate, merges its private clock into the shared device clock as a
+  /// concurrent sub-timeline, and copies the counters to `stats_out` when
+  /// requested.
+  void AccumulateStats(const QueryContext& ctx, GtsQueryStats* stats_out) const;
   float QueryObjectDistance(const Dataset& queries, uint32_t q, uint32_t id,
                             QueryContext* ctx) const {
     ++ctx->stats.distance_computations;

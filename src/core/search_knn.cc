@@ -35,23 +35,27 @@ Result<KnnResults> GtsIndex::KnnQueryBatchApprox(const Dataset& queries,
                                                  uint32_t k,
                                                  double candidate_fraction,
                                                  GtsQueryStats* stats_out) const {
-  if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
-    return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
-  }
   std::shared_lock lock(mu_);
-  QueryContext ctx;
-  ctx.candidate_fraction = candidate_fraction;
-  auto result = KnnQueryBatchImpl(queries, k, &ctx);
-  AccumulateStats(ctx.stats, stats_out);
-  return result;
+  return KnnQueryBatchUnlocked(queries, k, candidate_fraction, stats_out);
 }
 
 Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries, uint32_t k,
                                            GtsQueryStats* stats_out) const {
   std::shared_lock lock(mu_);
-  QueryContext ctx;
+  return KnnQueryBatchUnlocked(queries, k, /*candidate_fraction=*/1.0,
+                               stats_out);
+}
+
+Result<KnnResults> GtsIndex::KnnQueryBatchUnlocked(
+    const Dataset& queries, uint32_t k, double candidate_fraction,
+    GtsQueryStats* stats_out) const {
+  if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
+    return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
+  }
+  QueryContext ctx(*device_);
+  ctx.candidate_fraction = candidate_fraction;
   auto result = KnnQueryBatchImpl(queries, k, &ctx);
-  AccumulateStats(ctx.stats, stats_out);
+  AccumulateStats(ctx, stats_out);
   return result;
 }
 
@@ -109,7 +113,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
     // feeds the query's running top-k (Algorithm 5 lines 7-12).
     std::vector<float> dq(group.size());
     {
-      gpu::KernelDistanceScope scope(device_, metric_, group.size());
+      gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
         const GtsNode& node = node_list_[group[i].node];
         dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot, ctx);
@@ -120,7 +124,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
     }
     // The paper locates the running k-th distance with a device-wide
     // encode-sort of the candidate distances; charge the equivalent.
-    device_->clock().ChargeSort(group.size());
+    ctx->clock.ChargeSort(group.size());
     ctx->stats.nodes_visited += group.size();
 
     // Kernel B: ring pruning with the current bound (Lemma 5.2).
@@ -138,8 +142,8 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
             Entry{static_cast<uint32_t>(cid), group[i].query, dq[i]};
       }
     }
-    device_->clock().ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
-                                  static_cast<uint64_t>(group.size()) * nc * 4);
+    ctx->clock.ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
+                            static_cast<uint64_t>(group.size()) * nc * 4);
 
     GTS_RETURN_IF_ERROR(KnnLevel(std::span<const Entry>(buf.data(), emitted),
                                  layer + 1, queries, states, ctx));
@@ -180,11 +184,11 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
       seed_entry[e.query] = i;
     }
   }
-  device_->clock().ChargeScan(frontier.size());
+  ctx->clock.ChargeScan(frontier.size());
 
   uint64_t seed_scanned = 0;
   {
-    gpu::KernelDistanceScope scope(device_, metric_,
+    gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                    gpu::KernelDistanceScope::kAutoItems);
     for (const size_t i : seed_entry) {
       if (i == SIZE_MAX) continue;
@@ -227,7 +231,7 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
       candidates.push_back(Candidate{e.query, idx, gap});
     }
   }
-  device_->clock().ChargeKernel(scanned, scanned * 2);
+  ctx->clock.ChargeKernel(scanned, scanned * 2);
   ctx->stats.objects_verified += scanned;
 
   // Algorithm 5's encode-sort: candidates ordered per query by ascending
@@ -243,7 +247,7 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
               if (a.gap != b.gap) return a.gap < b.gap;
               return a.idx < b.idx;
             });
-  device_->clock().ChargeSort(candidates.size());
+  ctx->clock.ChargeSort(candidates.size());
 
   // Approximate mode: cap each query's verified candidates to the best
   // fraction (by annulus gap); exact mode (fraction = 1) keeps all.
@@ -260,7 +264,7 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
   }
 
   // Kernel B2: exact verification feeding the running top-k.
-  gpu::KernelDistanceScope scope(device_, metric_,
+  gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  gpu::KernelDistanceScope::kAutoItems);
   for (const Candidate& c : candidates) {
     if (!budget.empty()) {
@@ -279,7 +283,7 @@ void GtsIndex::SearchCacheKnn(const Dataset& queries,
                               QueryContext* ctx) const {
   if (cache_.empty()) return;
   const auto ids = cache_.ids();
-  gpu::KernelDistanceScope scope(device_, metric_,
+  gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {

@@ -59,13 +59,19 @@ Result<RangeResults> GtsIndex::RangeQueryBatch(
     const Dataset& queries, std::span<const float> radii,
     GtsQueryStats* stats_out) const {
   std::shared_lock lock(mu_);
+  return RangeQueryBatchUnlocked(queries, radii, stats_out);
+}
+
+Result<RangeResults> GtsIndex::RangeQueryBatchUnlocked(
+    const Dataset& queries, std::span<const float> radii,
+    GtsQueryStats* stats_out) const {
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
   if (!queries.CompatibleWith(data_)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
-  QueryContext ctx;
+  QueryContext ctx(*device_);
   RangeResults out(queries.size());
   if (indexed_count_ > 0) {
     std::vector<Entry> frontier;
@@ -77,7 +83,7 @@ Result<RangeResults> GtsIndex::RangeQueryBatch(
   }
   SearchCacheRange(queries, radii, &out, &ctx);
   for (auto& ids : out) std::sort(ids.begin(), ids.end());
-  AccumulateStats(ctx.stats, stats_out);
+  AccumulateStats(ctx, stats_out);
   return out;
 }
 
@@ -108,7 +114,7 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
     // Kernel A: one distance per entry to the entry node's pivot.
     std::vector<float> dq(group.size());
     {
-      gpu::KernelDistanceScope scope(device_, metric_, group.size());
+      gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
         dq[i] = QueryObjectDistance(queries, group[i].query,
                                     node_list_[group[i].node].pivot, ctx);
@@ -129,8 +135,8 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
             Entry{static_cast<uint32_t>(cid), group[i].query, dq[i]};
       }
     }
-    device_->clock().ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
-                                  static_cast<uint64_t>(group.size()) * nc * 4);
+    ctx->clock.ChargeKernel(static_cast<uint64_t>(group.size()) * nc,
+                            static_cast<uint64_t>(group.size()) * nc * 4);
 
     GTS_RETURN_IF_ERROR(RangeLevel(
         std::span<const Entry>(buf.data(), emitted), layer + 1, queries,
@@ -159,11 +165,11 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
       candidates.emplace_back(e.query, idx);
     }
   }
-  device_->clock().ChargeKernel(scanned, scanned * 2);
+  ctx->clock.ChargeKernel(scanned, scanned * 2);
   ctx->stats.objects_verified += scanned;
 
   // Phase 2: exact verification of surviving candidates.
-  gpu::KernelDistanceScope scope(device_, metric_, candidates.size());
+  gpu::KernelDistanceScope scope(&ctx->clock, metric_, candidates.size());
   for (const auto& [q, idx] : candidates) {
     const uint32_t id = tl_object_[idx];
     const float d = QueryObjectDistance(queries, q, id, ctx);
@@ -176,7 +182,7 @@ void GtsIndex::SearchCacheRange(const Dataset& queries,
                                 RangeResults* out, QueryContext* ctx) const {
   if (cache_.empty()) return;
   const auto ids = cache_.ids();
-  gpu::KernelDistanceScope scope(device_, metric_,
+  gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {

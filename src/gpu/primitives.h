@@ -25,36 +25,43 @@ void ParallelFor(Device* device, uint64_t n, double ops_per_item, Fn&& fn) {
 }
 
 /// Charges one kernel of distance computations whose elementary-op cost is
-/// measured from the metric's op counter. Work items are the individual
-/// distance evaluations; pass kAutoItems when the count is not known
-/// upfront (it is then taken from the metric's call-count delta). Usage:
+/// measured from the metric's per-thread op counter (exact even while other
+/// threads compute distances concurrently — the kernel's work never leaves
+/// this thread). Work items are the individual distance evaluations; pass
+/// kAutoItems when the count is not known upfront (it is then taken from
+/// the call-count delta). Charges the device's shared clock, or — for
+/// callers that fold concurrent timelines with SimClock::MergeConcurrent,
+/// like the per-call query contexts — any private clock. Usage:
 ///   { KernelDistanceScope scope(device, metric, items);
 ///     ... compute distances via metric ... }
 class KernelDistanceScope {
  public:
   static constexpr uint64_t kAutoItems = 0;
 
+  KernelDistanceScope(SimClock* clock, const DistanceMetric* metric,
+                      uint64_t items)
+      : clock_(clock), items_(items),
+        start_(DistanceMetric::ThreadStats()) {
+    (void)metric;  // the per-thread counters are metric-instance-agnostic
+  }
   KernelDistanceScope(Device* device, const DistanceMetric* metric,
                       uint64_t items)
-      : device_(device), metric_(metric), items_(items),
-        start_calls_(metric->stats().calls),
-        start_ops_(metric->stats().ops) {}
+      : KernelDistanceScope(&device->clock(), metric, items) {}
   ~KernelDistanceScope() {
+    const DistanceStats now = DistanceMetric::ThreadStats();
     const uint64_t items =
-        items_ != kAutoItems ? items_ : metric_->stats().calls - start_calls_;
+        items_ != kAutoItems ? items_ : now.calls - start_.calls;
     if (items > 0) {
-      device_->clock().ChargeKernel(items, metric_->stats().ops - start_ops_);
+      clock_->ChargeKernel(items, now.ops - start_.ops);
     }
   }
   KernelDistanceScope(const KernelDistanceScope&) = delete;
   KernelDistanceScope& operator=(const KernelDistanceScope&) = delete;
 
  private:
-  Device* device_;
-  const DistanceMetric* metric_;
+  SimClock* clock_;
   uint64_t items_;
-  uint64_t start_calls_;
-  uint64_t start_ops_;
+  DistanceStats start_;
 };
 
 /// Sorts `values` by `keys` (both permuted), charging a device sort.

@@ -18,6 +18,16 @@ void SimClock::ChargeKernel(uint64_t items, uint64_t total_ops) {
         config_.launch_overhead_ns);
 }
 
+void SimClock::MergeConcurrent(double start_ns, double delta_ns,
+                               uint64_t kernels) {
+  kernels_launched_.fetch_add(kernels, std::memory_order_relaxed);
+  const double target = start_ns + delta_ns;
+  double cur = elapsed_ns_.load(std::memory_order_relaxed);
+  while (cur < target && !elapsed_ns_.compare_exchange_weak(
+                             cur, target, std::memory_order_relaxed)) {
+  }
+}
+
 void SimClock::ChargeSort(uint64_t n) {
   if (n <= 1) return;
   kernels_launched_.fetch_add(1, std::memory_order_relaxed);

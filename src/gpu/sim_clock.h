@@ -41,12 +41,12 @@ struct ClockConfig {
 
 /// Accumulates simulated time. Charging is thread-safe (relaxed atomic
 /// accumulation), so concurrent query threads may share one clock without
-/// data races — but the *amounts* charged during overlap are only
-/// approximate: delta-based scopes (KernelDistanceScope) read a shared
-/// metric counter, so concurrent work can be attributed to several scopes
-/// at once. Simulated-time measurements are exact only when taken with a
-/// quiesced index (single-threaded), which is how every bench measures;
-/// under concurrency the clock is a conservative upper bound.
+/// data races. Concurrent callers that want parallel-makespan semantics
+/// (overlapping work counted once, not summed) accumulate on a private
+/// SimClock and fold it in with MergeConcurrent on completion — the
+/// per-call QueryContext clocks in core/gts.h do exactly that, so
+/// concurrent queries advance the shared clock by the max of their
+/// per-call times instead of over-charging it with the sum.
 class SimClock {
  public:
   SimClock() = default;
@@ -68,6 +68,15 @@ class SimClock {
 
   /// Adds raw nanoseconds (e.g. host-device transfer models).
   void ChargeRawNs(double ns) { AddNs(ns); }
+
+  /// Folds a concurrently-accumulated sub-timeline into this clock. The
+  /// sub-timeline started when this clock read `start_ns` and accumulated
+  /// `delta_ns` of simulated time and `kernels` launches; the clock
+  /// advances to at least start_ns + delta_ns. Sub-timelines that began at
+  /// the same reading therefore combine as their parallel makespan (max),
+  /// while serial callers (each starting after the previous merge) still
+  /// sum exactly as if they had charged this clock directly.
+  void MergeConcurrent(double start_ns, double delta_ns, uint64_t kernels);
 
   double ElapsedNs() const {
     return elapsed_ns_.load(std::memory_order_relaxed);

@@ -52,6 +52,7 @@ class DistanceMetric {
   float Distance(const Dataset& a, uint32_t i, const Dataset& b,
                  uint32_t j) const {
     calls_.fetch_add(1, std::memory_order_relaxed);
+    ++tls_calls_;
     AddOps(kDistanceCallOps);
     return DistanceImpl(a, i, b, j);
   }
@@ -71,6 +72,16 @@ class DistanceMetric {
     return DistanceStats{calls_.load(std::memory_order_relaxed),
                          ops_.load(std::memory_order_relaxed)};
   }
+
+  /// Cumulative counters of the *calling thread*, across all metric
+  /// instances. A kernel's computation never migrates threads, so a
+  /// delta-based scope (gpu::KernelDistanceScope) reads exact per-kernel
+  /// work from these even while other threads evaluate distances
+  /// concurrently — the shared stats() deltas would attribute that
+  /// concurrent work to every open scope at once.
+  static DistanceStats ThreadStats() {
+    return DistanceStats{tls_calls_, tls_ops_};
+  }
   void ResetStats() {
     calls_.store(0, std::memory_order_relaxed);
     ops_.store(0, std::memory_order_relaxed);
@@ -83,11 +94,17 @@ class DistanceMetric {
   /// Implementations report their measured elementary operations here.
   void AddOps(uint64_t n) const {
     ops_.fetch_add(n, std::memory_order_relaxed);
+    tls_ops_ += n;
   }
 
  private:
   mutable std::atomic<uint64_t> calls_{0};
   mutable std::atomic<uint64_t> ops_{0};
+  // Per-thread mirrors of the shared counters (never reset; consumers take
+  // deltas). Class-wide on purpose: ThreadStats() feeds single-thread
+  // work-delta scopes, which never interleave two metrics in one scope.
+  static inline thread_local uint64_t tls_calls_ = 0;
+  static inline thread_local uint64_t tls_ops_ = 0;
 };
 
 /// Factory for the metrics used by the paper's five datasets.

@@ -1,0 +1,37 @@
+// Countdown latch shared by the serve layer: tasks fanned out on the
+// worker pool count down, the submitting thread blocks until zero.
+// (std::latch would do, but the CI matrix's oldest libstdc++ predates
+// usable <latch>; this is the minimal mutex+cv equivalent.)
+#ifndef GTS_SERVE_LATCH_H_
+#define GTS_SERVE_LATCH_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace gts::serve {
+
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : remaining_(count) {}
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+}  // namespace gts::serve
+
+#endif  // GTS_SERVE_LATCH_H_

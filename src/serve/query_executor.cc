@@ -3,28 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "serve/latch.h"
+
 namespace gts::serve {
-
-namespace {
-
-/// Completion latch for one submitted batch: workers count the batch's
-/// shards down, the submitter blocks until zero.
-struct BatchLatch {
-  std::mutex m;
-  std::condition_variable cv;
-  size_t remaining = 0;
-
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(m);
-    if (--remaining == 0) cv.notify_all();
-  }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(m);
-    cv.wait(lock, [this] { return remaining == 0; });
-  }
-};
-
-}  // namespace
 
 QueryExecutor::QueryExecutor(const GtsIndex* index, ExecutorOptions options)
     : index_(index), options_(options) {
@@ -59,10 +40,17 @@ void QueryExecutor::WorkerLoop() {
   }
 }
 
+void QueryExecutor::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
 void QueryExecutor::RunAll(std::vector<std::function<void()>>* tasks) {
   if (tasks->empty()) return;
-  BatchLatch latch;
-  latch.remaining = tasks->size();
+  CountdownLatch latch(tasks->size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::function<void()>& t : *tasks) {

@@ -9,7 +9,10 @@
 // internal shared/exclusive lock serializes Insert/Remove/BatchUpdate/
 // Rebuild against in-flight shards. Each *shard* observes a consistent
 // snapshot of the index; a multi-shard batch as a whole does not (an update
-// can land between two shards of the same batch).
+// can land between two shards of the same batch). Callers that need a
+// whole batch — or several batches — pinned to one state should query
+// through GtsIndex::ReadSnapshot, as the streaming QuerySession
+// (serve/query_session.h) does for each of its flush cycles.
 #ifndef GTS_SERVE_QUERY_EXECUTOR_H_
 #define GTS_SERVE_QUERY_EXECUTOR_H_
 
@@ -62,6 +65,14 @@ class QueryExecutor {
   Result<KnnResults> KnnQueryBatchApprox(const Dataset& queries, uint32_t k,
                                          double candidate_fraction,
                                          GtsQueryStats* stats_out = nullptr);
+
+  /// Enqueues one heterogeneous work item on the pool and returns
+  /// immediately. Work items share the FIFO queue with batch shards — the
+  /// streaming QuerySession uses this to fan flushed batches out alongside
+  /// any directly-submitted sharded batches. The item must not block on
+  /// work that is *behind* it in the queue (it would deadlock a fully
+  /// occupied pool).
+  void Submit(std::function<void()> fn);
 
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());

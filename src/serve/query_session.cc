@@ -1,0 +1,393 @@
+#include "serve/query_session.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <utility>
+
+#include "serve/latch.h"
+
+namespace gts::serve {
+
+QuerySession::QuerySession(GtsIndex* index, QueryExecutor* executor,
+                           SessionOptions options)
+    : index_(index), executor_(executor), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_queue < options_.max_batch) {
+    options_.max_queue = options_.max_batch;
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+QuerySession::~QuerySession() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_dispatch_.notify_all();
+  cv_space_.notify_all();
+  dispatcher_.join();
+}
+
+SessionStats QuerySession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
+  if (stop_) return false;
+  if (reads_.size() < options_.max_queue) return true;
+  if (options_.admission == AdmissionPolicy::kReject) return false;
+  cv_space_.wait(*lock, [this] {
+    return stop_ || reads_.size() < options_.max_queue;
+  });
+  return !stop_;
+}
+
+void QuerySession::EnqueueRead(PendingRead read) {
+  read.enqueued_at = Clock::now();
+  reads_.push_back(std::move(read));
+  ++stats_.submitted;
+  cv_dispatch_.notify_all();
+}
+
+void QuerySession::EnqueueWrite(PendingWrite write) {
+  write.flushes_at_submit = stats_.flushes;
+  writes_.push_back(std::move(write));
+  cv_dispatch_.notify_all();
+}
+
+std::future<Result<std::vector<uint32_t>>> QuerySession::SubmitRange(
+    const Dataset& src, uint32_t idx, float radius) {
+  PendingRead read;
+  read.kind = PendingRead::Kind::kRange;
+  read.radius = radius;
+  auto future = read.range_promise.get_future();
+
+  // Validate and copy the query off-lock (src is caller-owned; the index's
+  // kind/dim are immutable) so concurrent submitters only serialize on the
+  // queue push.
+  if (idx >= src.size() || !src.CompatibleWith(index_->data())) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    read.range_promise.set_value(
+        Status::InvalidArgument("query object invalid for this index"));
+    return future;
+  }
+  const uint32_t ids[] = {idx};
+  read.query = src.Slice(ids);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!AdmitRead(&lock)) {
+    ++stats_.rejected;
+    read.range_promise.set_value(
+        Status::ResourceExhausted("session read queue full"));
+    return future;
+  }
+  EnqueueRead(std::move(read));
+  return future;
+}
+
+std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnn(
+    const Dataset& src, uint32_t idx, uint32_t k) {
+  return SubmitKnnApprox(src, idx, k, /*candidate_fraction=*/1.0);
+}
+
+std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnnApprox(
+    const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction) {
+  PendingRead read;
+  read.kind = PendingRead::Kind::kKnn;
+  read.k = k;
+  read.candidate_fraction = candidate_fraction;
+  auto future = read.knn_promise.get_future();
+
+  // See SubmitRange for why validation and the copy happen off-lock.
+  if (idx >= src.size() || !src.CompatibleWith(index_->data()) ||
+      candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    read.knn_promise.set_value(
+        Status::InvalidArgument("query object invalid for this index"));
+    return future;
+  }
+  const uint32_t ids[] = {idx};
+  read.query = src.Slice(ids);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!AdmitRead(&lock)) {
+    ++stats_.rejected;
+    read.knn_promise.set_value(
+        Status::ResourceExhausted("session read queue full"));
+    return future;
+  }
+  EnqueueRead(std::move(read));
+  return future;
+}
+
+std::future<Result<uint32_t>> QuerySession::SubmitInsert(const Dataset& src,
+                                                         uint32_t idx) {
+  PendingWrite write;
+  write.kind = PendingWrite::Kind::kInsert;
+  auto future = write.insert_promise.get_future();
+
+  if (idx >= src.size()) {
+    write.insert_promise.set_value(
+        Status::InvalidArgument("insert index out of range"));
+    return future;
+  }
+  const uint32_t ids[] = {idx};
+  write.payload = src.Slice(ids);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    write.insert_promise.set_value(
+        Status::ResourceExhausted("session stopped"));
+    return future;
+  }
+  EnqueueWrite(std::move(write));
+  return future;
+}
+
+std::future<Status> QuerySession::SubmitRemove(uint32_t id) {
+  PendingWrite write;
+  write.kind = PendingWrite::Kind::kRemove;
+  write.remove_id = id;
+  auto future = write.status_promise.get_future();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    write.status_promise.set_value(
+        Status::ResourceExhausted("session stopped"));
+    return future;
+  }
+  EnqueueWrite(std::move(write));
+  return future;
+}
+
+std::future<Status> QuerySession::SubmitBatchUpdate(
+    const Dataset& inserts, std::vector<uint32_t> removals) {
+  PendingWrite write;
+  write.kind = PendingWrite::Kind::kBatchUpdate;
+  write.payload = inserts;
+  write.removals = std::move(removals);
+  auto future = write.status_promise.get_future();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    write.status_promise.set_value(
+        Status::ResourceExhausted("session stopped"));
+    return future;
+  }
+  EnqueueWrite(std::move(write));
+  return future;
+}
+
+std::future<Status> QuerySession::SubmitRebuild() {
+  PendingWrite write;
+  write.kind = PendingWrite::Kind::kRebuild;
+  auto future = write.status_promise.get_future();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    write.status_promise.set_value(
+        Status::ResourceExhausted("session stopped"));
+    return future;
+  }
+  EnqueueWrite(std::move(write));
+  return future;
+}
+
+void QuerySession::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only nudge when something is queued: a stale flush_now_ would turn
+  // the next submission into a degenerate singleton batch.
+  if (reads_.empty()) return;
+  flush_now_ = true;
+  cv_dispatch_.notify_all();
+}
+
+void QuerySession::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!reads_.empty()) {
+    flush_now_ = true;
+    cv_dispatch_.notify_all();
+  }
+  cv_drained_.wait(lock, [this] {
+    return reads_.empty() && writes_.empty() && !busy_;
+  });
+}
+
+void QuerySession::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_dispatch_.wait(lock, [this] {
+      return stop_ || !reads_.empty() || !writes_.empty();
+    });
+    if (stop_ && reads_.empty() && writes_.empty()) return;
+
+    // Writer-fairness gate: with updates queued, run them now unless the
+    // gate still allows read flushes (and there are reads to flush).
+    if (!writes_.empty() &&
+        (reads_.empty() ||
+         flushes_while_writer_waits_ >= options_.reader_flushes_per_writer)) {
+      std::vector<PendingWrite> writes;
+      writes.swap(writes_);
+      flushes_while_writer_waits_ = 0;
+      for (const PendingWrite& w : writes) {
+        stats_.max_writer_wait_flushes =
+            std::max(stats_.max_writer_wait_flushes,
+                     stats_.flushes - w.flushes_at_submit);
+      }
+      busy_ = true;
+      lock.unlock();
+      for (PendingWrite& w : writes) RunWriter(&w);
+      lock.lock();
+      busy_ = false;
+      stats_.writer_ops += writes.size();
+      cv_drained_.notify_all();
+      continue;
+    }
+    if (reads_.empty()) continue;
+
+    // Dynamic batching: wait for the batch to fill or the oldest entry's
+    // deadline — unless already full, nudged, stopping, or a writer needs
+    // the gate to start counting.
+    if (reads_.size() < options_.max_batch && !flush_now_ && !stop_ &&
+        writes_.empty()) {
+      const auto deadline =
+          reads_.front().enqueued_at +
+          std::chrono::microseconds(options_.max_wait_micros);
+      cv_dispatch_.wait_until(lock, deadline, [this] {
+        return stop_ || flush_now_ || !writes_.empty() ||
+               reads_.size() >= options_.max_batch;
+      });
+      if (reads_.empty()) continue;
+    }
+
+    std::vector<PendingRead> batch;
+    const size_t take =
+        std::min<size_t>(reads_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(reads_.front()));
+      reads_.pop_front();
+    }
+    if (reads_.empty()) flush_now_ = false;
+    ++stats_.flushes;
+    if (!writes_.empty()) ++flushes_while_writer_waits_;
+    busy_ = true;
+    cv_space_.notify_all();  // admission room freed
+    lock.unlock();
+    RunFlush(&batch);
+    lock.lock();
+    busy_ = false;
+    stats_.completed += batch.size();
+    cv_drained_.notify_all();
+  }
+}
+
+void QuerySession::RunWriter(PendingWrite* write) {
+  switch (write->kind) {
+    case PendingWrite::Kind::kInsert:
+      write->insert_promise.set_value(index_->Insert(write->payload, 0));
+      break;
+    case PendingWrite::Kind::kRemove:
+      write->status_promise.set_value(index_->Remove(write->remove_id));
+      break;
+    case PendingWrite::Kind::kBatchUpdate:
+      write->status_promise.set_value(
+          index_->BatchUpdate(write->payload, write->removals));
+      break;
+    case PendingWrite::Kind::kRebuild:
+      write->status_promise.set_value(index_->Rebuild());
+      break;
+  }
+}
+
+void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
+  // Coalesce into homogeneous groups: all range queries form one batched
+  // call; kNN queries group by (k, candidate_fraction), the parameters a
+  // batched call shares.
+  std::vector<size_t> range_items;
+  std::map<std::pair<uint32_t, double>, std::vector<size_t>> knn_groups;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const PendingRead& item = (*batch)[i];
+    if (item.kind == PendingRead::Kind::kRange) {
+      range_items.push_back(i);
+    } else {
+      knn_groups[{item.k, item.candidate_fraction}].push_back(i);
+    }
+  }
+
+  // Pin one snapshot for the whole cycle: every query of this flush —
+  // across groups and shards, on any worker thread — observes the same
+  // index state. Acquired and released on the dispatcher.
+  const GtsIndex::ReadSnapshot snapshot = index_->SnapshotForRead();
+
+  struct ShardTask {
+    const std::vector<size_t>* items;
+    uint32_t begin, end;
+    bool is_range;
+    uint32_t k = 0;
+    double fraction = 1.0;
+  };
+  std::vector<ShardTask> tasks;
+  const auto shard_group = [&](const std::vector<size_t>& items,
+                               bool is_range, uint32_t k, double fraction) {
+    for (const auto& [begin, end] :
+         executor_->ShardBounds(static_cast<uint32_t>(items.size()))) {
+      tasks.push_back(ShardTask{&items, begin, end, is_range, k, fraction});
+    }
+  };
+  shard_group(range_items, /*is_range=*/true, 0, 1.0);
+  for (const auto& [key, items] : knn_groups) {
+    shard_group(items, /*is_range=*/false, key.first, key.second);
+  }
+
+  CountdownLatch latch(tasks.size());
+  for (const ShardTask& task : tasks) {
+    executor_->Submit([batch, &snapshot, &latch, &task] {
+      // Reassemble this shard's one-object queries into one batch.
+      Dataset queries = (*batch)[(*task.items)[task.begin]].query;
+      for (uint32_t i = task.begin + 1; i < task.end; ++i) {
+        queries.AppendFrom((*batch)[(*task.items)[i]].query, 0);
+      }
+      if (task.is_range) {
+        std::vector<float> radii(task.end - task.begin);
+        for (uint32_t i = task.begin; i < task.end; ++i) {
+          radii[i - task.begin] = (*batch)[(*task.items)[i]].radius;
+        }
+        auto res = snapshot.RangeQueryBatch(queries, radii);
+        for (uint32_t i = task.begin; i < task.end; ++i) {
+          PendingRead& item = (*batch)[(*task.items)[i]];
+          if (res.ok()) {
+            item.range_promise.set_value(
+                std::move(res.value()[i - task.begin]));
+          } else {
+            item.range_promise.set_value(res.status());
+          }
+        }
+      } else {
+        auto res = task.fraction < 1.0
+                       ? snapshot.KnnQueryBatchApprox(queries, task.k,
+                                                      task.fraction)
+                       : snapshot.KnnQueryBatch(queries, task.k);
+        for (uint32_t i = task.begin; i < task.end; ++i) {
+          PendingRead& item = (*batch)[(*task.items)[i]];
+          if (res.ok()) {
+            item.knn_promise.set_value(std::move(res.value()[i - task.begin]));
+          } else {
+            item.knn_promise.set_value(res.status());
+          }
+        }
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.coalesced_batches += (range_items.empty() ? 0 : 1) + knn_groups.size();
+}
+
+}  // namespace gts::serve

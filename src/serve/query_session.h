@@ -1,0 +1,200 @@
+// Streaming query submission with admission control — the serving front
+// door on top of GtsIndex + QueryExecutor. Callers submit *individual*
+// range/kNN queries (and update work items) and receive futures; an
+// internal dynamic batcher coalesces queued queries into batches — GTS
+// gets its throughput from batched level-synchronous search, so
+// independently-arriving queries must be re-batched to keep the device
+// busy (the Faiss-style GPU-serving recipe). Three policies shape the
+// stream:
+//
+//  - Dynamic batching: a flush runs when `max_batch` queries are queued or
+//    the oldest queued query has waited `max_wait_micros`, whichever comes
+//    first. A flush cycle pins one GtsIndex::ReadSnapshot, partitions the
+//    coalesced batch into per-(operation, k, fraction) groups, shards the
+//    groups over the executor's worker pool, and resolves every future —
+//    all queries of one flush observe the same index state (cross-batch
+//    snapshot semantics).
+//  - Admission control: at most `max_queue` read queries may be queued.
+//    An overflowing submission is either rejected immediately (its future
+//    resolves with kResourceExhausted) or blocks the submitter until
+//    space frees, per `admission`.
+//  - Writer fairness: update work items (Insert/Remove/BatchUpdate/
+//    Rebuild) are never rejected and cannot starve behind saturating
+//    readers: once a writer is queued, at most `reader_flushes_per_writer`
+//    more read flushes run before the dispatcher stops pinning read
+//    snapshots and applies all queued writers (std::shared_mutex makes no
+//    fairness guarantee of its own — the gate is what bounds writer wait).
+//
+// Per-query results are byte-identical to the corresponding entry of a
+// direct batched call: a query's descent depends only on its own state,
+// so how the batcher happened to coalesce it is unobservable.
+//
+// Thread-safety: any number of threads may submit concurrently. The
+// index and executor must outlive the session; destroying the session
+// drains everything already submitted.
+#ifndef GTS_SERVE_QUERY_SESSION_H_
+#define GTS_SERVE_QUERY_SESSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/gts.h"
+#include "serve/query_executor.h"
+
+namespace gts::serve {
+
+/// What to do with a read submission that finds the bounded queue full.
+enum class AdmissionPolicy {
+  kReject,  ///< fail fast: the future resolves with kResourceExhausted
+  kBlock,   ///< backpressure: the submitter blocks until space frees
+};
+
+struct SessionOptions {
+  /// Flush when this many read queries are queued.
+  uint32_t max_batch = 64;
+  /// Flush when the oldest queued read query has waited this long.
+  uint32_t max_wait_micros = 200;
+  /// Admission bound: queued (not yet flushed) read queries.
+  uint32_t max_queue = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// Writer-fairness gate: with updates queued, at most this many more
+  /// read flush cycles run before the writers get the index exclusively.
+  uint32_t reader_flushes_per_writer = 1;
+};
+
+/// Counters since construction. A consistent snapshot is returned by
+/// QuerySession::stats().
+struct SessionStats {
+  uint64_t submitted = 0;   ///< read queries accepted into the queue
+  uint64_t rejected = 0;    ///< read submissions refused (or invalid)
+  uint64_t completed = 0;   ///< read queries whose futures were resolved
+  uint64_t flushes = 0;     ///< read flush cycles dispatched
+  uint64_t coalesced_batches = 0;  ///< per-(op,k,fraction) groups dispatched
+  uint64_t writer_ops = 0;  ///< update work items applied
+  /// Worst number of read flush cycles any writer waited behind; the
+  /// fairness gate bounds this by reader_flushes_per_writer + 1 (one
+  /// in-flight flush plus the gate's allowance).
+  uint64_t max_writer_wait_flushes = 0;
+};
+
+/// One streaming session over one index. See the file comment.
+class QuerySession {
+ public:
+  /// `index` and `executor` must outlive the session. The executor may be
+  /// shared with direct batch callers; session work rides the same pool.
+  /// Portability caveat for sharing: a flush cycle holds the read snapshot
+  /// while its shard tasks queue behind any direct-batch shards, which
+  /// acquire the index's shared lock themselves. On a *writer-preferring*
+  /// shared_mutex a pending update could then wedge every worker behind
+  /// the held snapshot (deadlock). glibc's pthread rwlock — every CI
+  /// target — is reader-preferring, where this cannot happen; on
+  /// writer-preferring platforms (e.g. SRWLOCK), give the session an
+  /// executor of its own.
+  QuerySession(GtsIndex* index, QueryExecutor* executor,
+               SessionOptions options = {});
+  /// Drains all submitted work, then stops the dispatcher.
+  ~QuerySession();
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  // --- Read submissions (admission-controlled, dynamically batched) -----
+  // The query is object `idx` of `src` and is copied out, so `src` may be
+  // destroyed as soon as the call returns. Invalid submissions (index out
+  // of range, incompatible kind/dim) resolve immediately with
+  // kInvalidArgument; queue overflow per the admission policy.
+
+  std::future<Result<std::vector<uint32_t>>> SubmitRange(const Dataset& src,
+                                                         uint32_t idx,
+                                                         float radius);
+  std::future<Result<std::vector<Neighbor>>> SubmitKnn(const Dataset& src,
+                                                       uint32_t idx,
+                                                       uint32_t k);
+  std::future<Result<std::vector<Neighbor>>> SubmitKnnApprox(
+      const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction);
+
+  // --- Update submissions (never rejected, writer-fairness gated) -------
+  // Applied by the dispatcher between read flush cycles, in submission
+  // order, each through the index's own exclusive-writer strategy.
+
+  std::future<Result<uint32_t>> SubmitInsert(const Dataset& src, uint32_t idx);
+  std::future<Status> SubmitRemove(uint32_t id);
+  std::future<Status> SubmitBatchUpdate(const Dataset& inserts,
+                                        std::vector<uint32_t> removals);
+  std::future<Status> SubmitRebuild();
+
+  /// Nudges the batcher: everything queued right now flushes without
+  /// waiting for max_batch / max_wait_micros.
+  void Flush();
+  /// Blocks until every submission made before the call has completed.
+  void Drain();
+
+  SessionStats stats() const;
+  const GtsIndex* index() const { return index_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingRead {
+    enum class Kind { kRange, kKnn } kind = Kind::kRange;
+    Dataset query = Dataset::Strings();  ///< exactly one object
+    float radius = 0.0f;
+    uint32_t k = 0;
+    double candidate_fraction = 1.0;
+    Clock::time_point enqueued_at;
+    std::promise<Result<std::vector<uint32_t>>> range_promise;
+    std::promise<Result<std::vector<Neighbor>>> knn_promise;
+  };
+
+  struct PendingWrite {
+    enum class Kind { kInsert, kRemove, kBatchUpdate, kRebuild } kind =
+        Kind::kRebuild;
+    /// Insert object / batch-update inserts (placeholder kind until set).
+    Dataset payload = Dataset::Strings();
+    std::vector<uint32_t> removals;
+    uint32_t remove_id = 0;
+    uint64_t flushes_at_submit = 0;
+    std::promise<Result<uint32_t>> insert_promise;
+    std::promise<Status> status_promise;
+  };
+
+  /// True when the read queue has admission room, waiting (kBlock) until
+  /// it does; false when the submission must be rejected (kReject or
+  /// stopping). Called with `lock` held.
+  bool AdmitRead(std::unique_lock<std::mutex>* lock);
+  void EnqueueRead(PendingRead read);
+  void EnqueueWrite(PendingWrite write);
+
+  void DispatchLoop();
+  /// Runs one coalesced flush cycle; called off-lock on the dispatcher.
+  void RunFlush(std::vector<PendingRead>* batch);
+  /// Applies one update work item; called off-lock on the dispatcher.
+  void RunWriter(PendingWrite* write);
+
+  GtsIndex* index_;
+  QueryExecutor* executor_;
+  SessionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_dispatch_;  // dispatcher waits for work
+  std::condition_variable cv_space_;     // kBlock submitters wait for room
+  std::condition_variable cv_drained_;   // Drain() waits for quiescence
+  std::deque<PendingRead> reads_;
+  std::vector<PendingWrite> writes_;
+  SessionStats stats_;
+  uint64_t flushes_while_writer_waits_ = 0;
+  bool flush_now_ = false;
+  bool busy_ = false;  ///< dispatcher is mid-flush / mid-write (off-lock)
+  bool stop_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace gts::serve
+
+#endif  // GTS_SERVE_QUERY_SESSION_H_

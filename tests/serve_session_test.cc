@@ -1,0 +1,376 @@
+// Streaming QuerySession suite: futures must resolve with results
+// byte-identical to the batch path across seeds; the bounded-queue reject
+// policy must fire under overload; a writer must complete within a bounded
+// number of flush cycles while saturating reader threads stream queries;
+// and the whole layer must be TSan-clean (this file runs under the
+// clang-tsan CI job's Serve re-run).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/gts.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "serve/query_executor.h"
+#include "serve/query_session.h"
+
+namespace gts {
+namespace {
+
+struct Env {
+  Dataset data = Dataset::Strings();
+  std::unique_ptr<DistanceMetric> metric;
+  std::unique_ptr<gpu::Device> device;
+  std::unique_ptr<GtsIndex> index;
+};
+
+Env MakeIndexedEnv(DatasetId id, uint32_t n, uint64_t seed,
+                   uint64_t cache_capacity_bytes = 5 * 1024) {
+  Env env;
+  env.data = GenerateDataset(id, n, seed);
+  env.metric = MakeDatasetMetric(id);
+  env.device = std::make_unique<gpu::Device>();
+  std::vector<uint32_t> ids(env.data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  GtsOptions options;
+  options.cache_capacity_bytes = cache_capacity_bytes;
+  auto built = GtsIndex::Build(env.data.Slice(ids), env.metric.get(),
+                               env.device.get(), options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  env.index = std::move(built).value();
+  return env;
+}
+
+TEST(ServeSessionDifferential, FuturesMatchBatchPathAcrossSeeds) {
+  for (const uint64_t seed : {31u, 32u, 33u}) {
+    Env env = MakeIndexedEnv(DatasetId::kTLoc, 1200, seed);
+    const float r = CalibrateRadius(env.data, *env.metric, 0.01, 100, 7);
+    const Dataset queries = SampleQueries(env.data, 96, seed * 3 + 1);
+    const std::vector<float> radii(queries.size(), r);
+
+    auto want_range = env.index->RangeQueryBatch(queries, radii);
+    ASSERT_TRUE(want_range.ok()) << want_range.status().ToString();
+    auto want_knn = env.index->KnnQueryBatch(queries, 8);
+    ASSERT_TRUE(want_knn.ok());
+    auto want_approx = env.index->KnnQueryBatchApprox(queries, 8, 0.5);
+    ASSERT_TRUE(want_approx.ok());
+
+    serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{4, 0});
+    // Tiny max_batch and zero wait exercise many flush cycles; a large
+    // second config coalesces everything into one.
+    for (const uint32_t max_batch : {5u, 256u}) {
+      serve::SessionOptions opts;
+      opts.max_batch = max_batch;
+      opts.max_wait_micros = 50;
+      serve::QuerySession session(env.index.get(), &exec, opts);
+
+      std::vector<std::future<Result<std::vector<uint32_t>>>> range_futures;
+      std::vector<std::future<Result<std::vector<Neighbor>>>> knn_futures;
+      std::vector<std::future<Result<std::vector<Neighbor>>>> approx_futures;
+      for (uint32_t q = 0; q < queries.size(); ++q) {
+        range_futures.push_back(session.SubmitRange(queries, q, r));
+        knn_futures.push_back(session.SubmitKnn(queries, q, 8));
+        approx_futures.push_back(session.SubmitKnnApprox(queries, q, 8, 0.5));
+      }
+      for (uint32_t q = 0; q < queries.size(); ++q) {
+        auto range = range_futures[q].get();
+        ASSERT_TRUE(range.ok()) << range.status().ToString();
+        EXPECT_EQ(range.value(), want_range.value()[q]) << "query " << q;
+
+        auto knn = knn_futures[q].get();
+        ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+        ASSERT_EQ(knn.value().size(), want_knn.value()[q].size());
+        for (size_t i = 0; i < knn.value().size(); ++i) {
+          EXPECT_EQ(knn.value()[i].id, want_knn.value()[q][i].id);
+          // Exact float equality on purpose: coalescing must not change
+          // any query's computation.
+          EXPECT_EQ(knn.value()[i].dist, want_knn.value()[q][i].dist);
+        }
+
+        auto approx = approx_futures[q].get();
+        ASSERT_TRUE(approx.ok());
+        ASSERT_EQ(approx.value().size(), want_approx.value()[q].size());
+        for (size_t i = 0; i < approx.value().size(); ++i) {
+          EXPECT_EQ(approx.value()[i].id, want_approx.value()[q][i].id);
+          EXPECT_EQ(approx.value()[i].dist, want_approx.value()[q][i].dist);
+        }
+      }
+      session.Drain();  // let the dispatcher finish its bookkeeping
+      const serve::SessionStats stats = session.stats();
+      EXPECT_EQ(stats.submitted, uint64_t{3} * queries.size());
+      EXPECT_EQ(stats.completed, uint64_t{3} * queries.size());
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_GE(stats.flushes, 1u);
+    }
+  }
+}
+
+TEST(ServeSessionTest, SingleQueryEntryPointsMatchBatch) {
+  Env env = MakeIndexedEnv(DatasetId::kWords, 500, 9);
+  const Dataset queries = SampleQueries(env.data, 12, 4);
+  const std::vector<float> radii(queries.size(), 2.0f);
+
+  auto want_range = env.index->RangeQueryBatch(queries, radii);
+  ASSERT_TRUE(want_range.ok());
+  auto want_knn = env.index->KnnQueryBatch(queries, 5);
+  ASSERT_TRUE(want_knn.ok());
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    auto one_range = env.index->RangeQuery(queries, q, 2.0f);
+    ASSERT_TRUE(one_range.ok());
+    EXPECT_EQ(one_range.value(), want_range.value()[q]);
+    auto one_knn = env.index->KnnQuery(queries, q, 5);
+    ASSERT_TRUE(one_knn.ok());
+    ASSERT_EQ(one_knn.value().size(), want_knn.value()[q].size());
+    for (size_t i = 0; i < one_knn.value().size(); ++i) {
+      EXPECT_EQ(one_knn.value()[i].id, want_knn.value()[q][i].id);
+    }
+  }
+  EXPECT_FALSE(env.index->RangeQuery(queries, queries.size(), 1.0f).ok());
+  EXPECT_FALSE(env.index->KnnQuery(queries, queries.size(), 5).ok());
+}
+
+TEST(ServeSessionTest, SnapshotPinsStateAcrossBatches) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 600, 17);
+  const Dataset queries = SampleQueries(env.data, 8, 3);
+  const float r = CalibrateRadius(env.data, *env.metric, 0.02, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+
+  auto before = env.index->RangeQueryBatch(queries, radii);
+  ASSERT_TRUE(before.ok());
+
+  // A writer queued behind a live snapshot must not affect queries through
+  // that snapshot, however many batches run through it.
+  std::thread writer;
+  {
+    const GtsIndex::ReadSnapshot snapshot = env.index->SnapshotForRead();
+    writer = std::thread([&] {
+      EXPECT_TRUE(env.index->Insert(env.data, 0).ok());  // blocks on the lock
+    });
+    for (int i = 0; i < 3; ++i) {
+      auto pinned = snapshot.RangeQueryBatch(queries, radii);
+      ASSERT_TRUE(pinned.ok());
+      EXPECT_EQ(pinned.value(), before.value()) << "batch " << i;
+    }
+  }  // snapshot released: the writer can proceed
+  writer.join();
+  EXPECT_EQ(env.index->cache_size(), 1u);
+}
+
+TEST(ServeSessionAdmission, RejectPolicyFiresUnderOverload) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 1500, 41);
+  const float r = CalibrateRadius(env.data, *env.metric, 0.02, 100, 7);
+  const Dataset queries = SampleQueries(env.data, 64, 5);
+
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{2, 0});
+  serve::SessionOptions opts;
+  opts.max_batch = 4;
+  opts.max_queue = 8;
+  opts.max_wait_micros = 0;
+  opts.admission = serve::AdmissionPolicy::kReject;
+  serve::QuerySession session(env.index.get(), &exec, opts);
+
+  // Overload: submit far more than the queue bound as fast as possible.
+  constexpr int kSubmissions = 2000;
+  std::vector<std::future<Result<std::vector<uint32_t>>>> futures;
+  futures.reserve(kSubmissions);
+  for (int i = 0; i < kSubmissions; ++i) {
+    futures.push_back(session.SubmitRange(queries, i % queries.size(), r));
+  }
+  uint64_t rejected = 0, completed = 0;
+  for (auto& f : futures) {
+    auto res = f.get();
+    if (res.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "overload never tripped admission control";
+  EXPECT_GT(completed, 0u) << "admission control rejected everything";
+  session.Drain();
+  const serve::SessionStats stats = session.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.submitted, completed);
+}
+
+TEST(ServeSessionAdmission, BlockPolicyCompletesEverything) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 800, 43);
+  const float r = CalibrateRadius(env.data, *env.metric, 0.02, 100, 7);
+  const Dataset queries = SampleQueries(env.data, 32, 5);
+
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{2, 0});
+  serve::SessionOptions opts;
+  opts.max_batch = 4;
+  opts.max_queue = 4;
+  opts.max_wait_micros = 0;
+  opts.admission = serve::AdmissionPolicy::kBlock;
+  serve::QuerySession session(env.index.get(), &exec, opts);
+
+  constexpr int kSubmissions = 300;
+  std::vector<std::future<Result<std::vector<uint32_t>>>> futures;
+  futures.reserve(kSubmissions);
+  for (int i = 0; i < kSubmissions; ++i) {
+    futures.push_back(session.SubmitRange(queries, i % queries.size(), r));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  session.Drain();
+  const serve::SessionStats stats = session.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, uint64_t{kSubmissions});
+}
+
+TEST(ServeSessionTest, InvalidSubmissionsFailFast) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 300, 47);
+  const Dataset queries = SampleQueries(env.data, 4, 5);
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{2, 0});
+  serve::QuerySession session(env.index.get(), &exec);
+
+  auto oob = session.SubmitRange(queries, queries.size(), 1.0f);
+  EXPECT_EQ(oob.get().status().code(), StatusCode::kInvalidArgument);
+
+  const Dataset wrong_kind = GenerateDataset(DatasetId::kWords, 4, 1);
+  auto incompatible = session.SubmitKnn(wrong_kind, 0, 4);
+  EXPECT_EQ(incompatible.get().status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_fraction = session.SubmitKnnApprox(queries, 0, 4, 1.5);
+  EXPECT_EQ(bad_fraction.get().status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_insert = session.SubmitInsert(queries, queries.size());
+  EXPECT_EQ(bad_insert.get().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeSessionWriters, WritersApplyInOrderAndResolve) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 400, 53);
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{2, 0});
+  serve::QuerySession session(env.index.get(), &exec);
+
+  const uint32_t before = env.index->alive_size();
+  auto ins = session.SubmitInsert(env.data, 1);
+  auto ins_res = ins.get();
+  ASSERT_TRUE(ins_res.ok()) << ins_res.status().ToString();
+  auto rem = session.SubmitRemove(ins_res.value());
+  EXPECT_TRUE(rem.get().ok());
+  auto rebuild = session.SubmitRebuild();
+  EXPECT_TRUE(rebuild.get().ok());
+  session.Drain();
+  EXPECT_EQ(env.index->alive_size(), before);
+  EXPECT_EQ(session.stats().writer_ops, 3u);
+
+  // Batch update through the session.
+  const Dataset inserts = SampleQueries(env.data, 3, 11);
+  auto batch = session.SubmitBatchUpdate(inserts, {});
+  EXPECT_TRUE(batch.get().ok());
+  EXPECT_EQ(env.index->alive_size(), before + 3);
+}
+
+// The headline fairness property: while saturating reader threads keep the
+// session permanently loaded, a writer must complete within a bounded
+// number of flush cycles (reader_flushes_per_writer + the flush in
+// progress when it arrived + the cycles already queued), not starve.
+TEST(ServeSessionWriters, WriterBoundedBehindSaturatingReaders) {
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 1000, 61);
+  const float r = CalibrateRadius(env.data, *env.metric, 0.02, 100, 7);
+  const Dataset queries = SampleQueries(env.data, 32, 5);
+
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{4, 0});
+  serve::SessionOptions opts;
+  opts.max_batch = 8;
+  opts.max_queue = 64;
+  opts.max_wait_micros = 0;
+  opts.admission = serve::AdmissionPolicy::kBlock;
+  opts.reader_flushes_per_writer = 1;
+  serve::QuerySession session(env.index.get(), &exec, opts);
+
+  constexpr int kReaders = 8;
+  constexpr int kPerReader = 60;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerReader; ++i) {
+        auto f = session.SubmitRange(queries, (t * kPerReader + i) %
+                                                  queries.size(), r);
+        EXPECT_TRUE(f.get().ok());
+      }
+    });
+  }
+  go.store(true);
+  // Let the readers saturate, then push writers through the stream.
+  std::vector<std::future<Result<uint32_t>>> inserts;
+  for (int w = 0; w < 6; ++w) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    inserts.push_back(session.SubmitInsert(env.data, w));
+  }
+  for (auto& f : inserts) {
+    ASSERT_TRUE(f.get().ok());  // completes while readers still stream
+  }
+  for (std::thread& th : readers) th.join();
+  session.Drain();
+
+  const serve::SessionStats stats = session.stats();
+  EXPECT_EQ(stats.writer_ops, 6u);
+  EXPECT_EQ(stats.completed, uint64_t{kReaders} * kPerReader);
+  // The fairness gate: no writer waited more than the gate allowance plus
+  // the cycle that was already in flight when it arrived.
+  EXPECT_LE(stats.max_writer_wait_flushes,
+            opts.reader_flushes_per_writer + 1)
+      << "writer starved behind saturating readers";
+}
+
+TEST(ServeSessionTest, MixedStreamUnderChurnKeepsInvariants) {
+  // Readers, writers and rebuilds all through one session, TSan food.
+  Env env = MakeIndexedEnv(DatasetId::kTLoc, 800, 71,
+                           /*cache_capacity_bytes=*/512);
+  const float r = CalibrateRadius(env.data, *env.metric, 0.02, 100, 7);
+  const Dataset queries = SampleQueries(env.data, 16, 5);
+
+  serve::QueryExecutor exec(env.index.get(), serve::ExecutorOptions{4, 0});
+  serve::SessionOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_micros = 100;
+  serve::QuerySession session(env.index.get(), &exec, opts);
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        if (t == 0 && i % 5 == 0) {
+          auto ins = session.SubmitInsert(env.data, i % env.data.size());
+          if (!ins.get().ok()) failures.fetch_add(1);
+          continue;
+        }
+        auto knn = session.SubmitKnn(queries, (t + i) % queries.size(), 8);
+        auto got = knn.get();
+        if (!got.ok() || got.value().size() != 8) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  session.Drain();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Post-churn determinism: quiesced session answers match the raw index.
+  auto want = env.index->RangeQueryBatch(queries,
+                                         std::vector<float>(queries.size(), r));
+  ASSERT_TRUE(want.ok());
+  auto f = session.SubmitRange(queries, 3, r);
+  auto got = f.get();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), want.value()[3]);
+}
+
+}  // namespace
+}  // namespace gts

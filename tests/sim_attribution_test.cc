@@ -1,0 +1,157 @@
+// Per-thread simulated-time attribution suite. Concurrent query calls
+// accumulate on private per-call clocks and merge into the shared device
+// clock as concurrent sub-timelines (SimClock::MergeConcurrent), so the
+// modeled time of two overlapping calls is the max of their per-call
+// times, not the sum — and certainly not the former behaviour, where
+// delta-based kernel scopes read shared metric counters and charged other
+// threads' concurrent work to every open scope at once.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/gts.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "gpu/sim_clock.h"
+
+namespace gts {
+namespace {
+
+TEST(SimClockMerge, ConcurrentSubTimelinesCombineAsMax) {
+  gpu::SimClock clock;
+  clock.ChargeRawNs(100.0);
+  const double start = clock.ElapsedNs();
+  // Two sub-timelines that began at the same reading: parallel makespan.
+  clock.MergeConcurrent(start, 40.0, 2);
+  clock.MergeConcurrent(start, 70.0, 3);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), start + 70.0);
+  EXPECT_EQ(clock.kernels_launched(), 5u);
+  // A merge that would move the clock backwards is a no-op on elapsed.
+  clock.MergeConcurrent(start, 10.0, 1);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), start + 70.0);
+  EXPECT_EQ(clock.kernels_launched(), 6u);
+}
+
+TEST(SimClockMerge, SerialSubTimelinesStillSum) {
+  gpu::SimClock clock;
+  const double s0 = clock.ElapsedNs();
+  clock.MergeConcurrent(s0, 25.0, 1);
+  const double s1 = clock.ElapsedNs();
+  clock.MergeConcurrent(s1, 25.0, 1);
+  EXPECT_DOUBLE_EQ(clock.ElapsedNs(), 50.0);
+}
+
+/// L2 metric with a two-party rendezvous on the first distance evaluation
+/// of each armed query call: both threads are provably inside their query
+/// (contexts constructed, start readings taken) before either computes,
+/// which makes the 2-thread overlap deterministic on any scheduler.
+class RendezvousL2 final : public DistanceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kL2; }
+  bool SupportsKind(DataKind kind) const override {
+    return kind == DataKind::kFloatVector;
+  }
+
+  /// Arms the next `parties`-way rendezvous (0 disarms).
+  void Arm(int parties) {
+    std::lock_guard<std::mutex> lock(m_);
+    parties_ = parties;
+    arrived_ = 0;
+    ++generation_;
+  }
+
+ protected:
+  float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
+                     uint32_t j) const override {
+    Rendezvous();
+    const auto va = a.Vector(i);
+    const auto vb = b.Vector(j);
+    double sum = 0.0;
+    for (size_t d = 0; d < va.size(); ++d) {
+      const double diff = static_cast<double>(va[d]) - vb[d];
+      sum += diff * diff;
+    }
+    AddOps(va.size());
+    return static_cast<float>(std::sqrt(sum));
+  }
+
+ private:
+  void Rendezvous() const {
+    std::unique_lock<std::mutex> lock(m_);
+    if (parties_ == 0 || tls_seen_generation_ == generation_) return;
+    tls_seen_generation_ = generation_;
+    if (++arrived_ >= parties_) {
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this] { return arrived_ >= parties_; });
+    }
+  }
+
+  mutable std::mutex m_;
+  mutable std::condition_variable cv_;
+  mutable int arrived_ = 0;
+  int parties_ = 0;
+  uint64_t generation_ = 0;
+  static inline thread_local uint64_t tls_seen_generation_ = 0;
+};
+
+TEST(SimAttribution, TwoThreadModeledTimeIsMaxNotSum) {
+  RendezvousL2 metric;
+  gpu::Device device;
+  Dataset data = GenerateDataset(DatasetId::kTLoc, 1200, 83);
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  auto built =
+      GtsIndex::Build(data.Slice(ids), &metric, &device, GtsOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<GtsIndex>& index = built.value();
+
+  const Dataset queries = SampleQueries(data, 64, 7);
+  const float r = CalibrateRadius(data, metric, 0.02, 100, 7);
+  const std::vector<float> radii(queries.size(), r);
+
+  // Per-call modeled cost, measured twice single-threaded: the query is
+  // deterministic, so the two runs must charge the identical amount.
+  const double t0 = device.clock().ElapsedNs();
+  ASSERT_TRUE(index->RangeQueryBatch(queries, radii).ok());
+  const double single = device.clock().ElapsedNs() - t0;
+  ASSERT_GT(single, 0.0);
+  const double t1 = device.clock().ElapsedNs();
+  ASSERT_TRUE(index->RangeQueryBatch(queries, radii).ok());
+  EXPECT_NEAR(device.clock().ElapsedNs() - t1, single, single * 1e-9);
+
+  // Two overlapping calls: the rendezvous guarantees both calls read the
+  // shared clock before either charges, so the merged advance must be the
+  // max of the two identical per-call times — the parallel makespan — and
+  // not their sum (the former over-charge was even larger than the sum).
+  metric.Arm(2);
+  const double t2 = device.clock().ElapsedNs();
+  std::thread other([&] {
+    EXPECT_TRUE(index->RangeQueryBatch(queries, radii).ok());
+  });
+  EXPECT_TRUE(index->RangeQueryBatch(queries, radii).ok());
+  other.join();
+  metric.Arm(0);
+  const double concurrent = device.clock().ElapsedNs() - t2;
+
+  EXPECT_NEAR(concurrent, single, single * 1e-9);
+  EXPECT_LT(concurrent, 1.5 * single) << "2-thread modeled time looks like "
+                                         "a sum, not a parallel makespan";
+
+  // Aggregate *work* counters still sum: four calls' worth of distances.
+  const GtsQueryStats agg = index->query_stats();
+  GtsQueryStats one;
+  index->ResetQueryStats();
+  ASSERT_TRUE(index->RangeQueryBatch(queries, radii, &one).ok());
+  EXPECT_EQ(agg.distance_computations, 4 * one.distance_computations);
+}
+
+}  // namespace
+}  // namespace gts
