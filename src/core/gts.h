@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <utility>
@@ -82,6 +84,8 @@ struct GtsQueryStats {
   }
 };
 
+/// The paper's GPU-tree index. See the file comment for the design and the
+/// thread-safety contract; docs/ARCHITECTURE.md places it in the system.
 class GtsIndex {
  public:
   /// Builds the index over `data` (the index takes ownership — updates grow
@@ -91,6 +95,7 @@ class GtsIndex {
                                                  gpu::Device* device,
                                                  const GtsOptions& options);
 
+  /// Releases the index's device-resident reservation.
   ~GtsIndex();
   GtsIndex(const GtsIndex&) = delete;
   GtsIndex& operator=(const GtsIndex&) = delete;
@@ -155,19 +160,45 @@ class GtsIndex {
     ReadSnapshot(const ReadSnapshot&) = delete;
     ReadSnapshot& operator=(const ReadSnapshot&) = delete;
 
+    /// Batched range query through the pinned view.
     Result<RangeResults> RangeQueryBatch(
         const Dataset& queries, std::span<const float> radii,
         GtsQueryStats* stats_out = nullptr) const;
+    /// Batched exact kNN query through the pinned view.
     Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
                                      GtsQueryStats* stats_out = nullptr) const;
+    /// Batched approximate kNN query through the pinned view.
     Result<KnnResults> KnnQueryBatchApprox(
         const Dataset& queries, uint32_t k, double candidate_fraction,
         GtsQueryStats* stats_out = nullptr) const;
+
+    // Introspection through the pinned view. Unlike the index's unlocked
+    // accessors (which need external synchronization against updates),
+    // these are safe whenever the snapshot is live — the shared lock
+    // excludes every update strategy — and mutually consistent with each
+    // other and with the snapshot's queries. Multi-index front ends
+    // (serve::SessionRouter) read per-tenant state this way.
+
+    /// Total objects ever stored (including tombstoned ones).
+    uint32_t size() const { return index_->size(); }
+    /// Objects alive (not tombstoned) in this view.
+    uint32_t alive_size() const { return index_->alive_size(); }
+    /// Tree height of this view.
+    uint32_t height() const { return index_->height(); }
+    /// Cache-table entries of this view.
+    uint32_t cache_size() const { return index_->cache_size(); }
+    /// Rebuilds the index has performed up to this view.
+    uint64_t rebuild_count() const { return index_->rebuild_count(); }
+    /// The underlying index (for identity checks; do not call update
+    /// strategies through it from the holding thread).
+    const GtsIndex* index() const { return index_; }
 
    private:
     friend class GtsIndex;
     explicit ReadSnapshot(const GtsIndex* index)
         : index_(index), lock_(index->mu_) {}
+    ReadSnapshot(const GtsIndex* index, std::try_to_lock_t)
+        : index_(index), lock_(index->mu_, std::try_to_lock) {}
 
     const GtsIndex* index_;
     std::shared_lock<std::shared_mutex> lock_;
@@ -176,6 +207,16 @@ class GtsIndex {
   /// Acquires the shared lock and returns the pinned view. Blocks while an
   /// update is in flight, like any query.
   ReadSnapshot SnapshotForRead() const { return ReadSnapshot(this); }
+
+  /// Non-blocking SnapshotForRead: std::nullopt instead of waiting when an
+  /// update holds the index exclusively. Monitoring paths use this so a
+  /// long rebuild cannot stall a stats poll
+  /// (serve::SessionRouter::stats()).
+  std::optional<ReadSnapshot> TrySnapshotForRead() const {
+    ReadSnapshot snapshot(this, std::try_to_lock);
+    if (!snapshot.lock_.owns_lock()) return std::nullopt;
+    return snapshot;
+  }
 
   // --- Updates (exclusive writers) --------------------------------------
   // Update calls take the index lock exclusively and may therefore safely
@@ -211,15 +252,24 @@ class GtsIndex {
   // --- Introspection ----------------------------------------------------
   // Plain unlocked reads: safe against concurrent queries (which never
   // mutate index state), but callers must synchronize externally against
-  // concurrent updates.
+  // concurrent updates — or read through a ReadSnapshot, whose accessors
+  // are stable and mutually consistent under concurrent updates.
+
+  /// Tree height (layers).
   uint32_t height() const { return height_; }
+  /// Node capacity Nc the index was built with.
   uint32_t node_capacity() const { return options_.node_capacity; }
+  /// Nodes in the tree (the 1-based node list minus its unused slot 0).
   uint64_t num_nodes() const { return node_list_.size() - 1; }
   /// Total objects ever stored (including tombstoned ones).
   uint32_t size() const { return data_.size(); }
+  /// Objects alive (not tombstoned).
   uint32_t alive_size() const { return alive_count_; }
+  /// Entries currently in the streaming-update cache table.
   uint32_t cache_size() const { return cache_.size(); }
+  /// Full reconstructions performed since construction.
   uint64_t rebuild_count() const { return rebuild_count_; }
+  /// Whether object `id` is alive.
   bool IsAlive(uint32_t id) const { return alive_[id] != 0; }
 
   /// Index storage footprint: node list + table list + cache table
@@ -228,15 +278,21 @@ class GtsIndex {
   /// Device-resident bytes including the dataset payload.
   uint64_t DeviceResidentBytes() const { return resident_bytes_; }
 
+  /// The indexed dataset (grows in place under streaming updates).
   const Dataset& data() const { return data_; }
+  /// The simulated device the index charges kernel time to.
   gpu::Device* device() const { return device_; }
+  /// Node `id` of the contiguous node list (1-based).
   const GtsNode& node(uint64_t id) const { return node_list_[id]; }
+  /// The table list's object column (leaf object ids, by node slot).
   std::span<const uint32_t> table_objects() const { return tl_object_; }
+  /// The table list's distance column (d(object, parent pivot)).
   std::span<const float> table_dis() const { return tl_dis_; }
 
   /// Snapshot of the aggregate query counters (accumulated atomically
   /// across all concurrent query calls since the last reset).
   GtsQueryStats query_stats() const;
+  /// Zeroes the aggregate query counters.
   void ResetQueryStats();
 
  private:

@@ -109,6 +109,9 @@ Result<RangeResults> QueryExecutor::RangeQueryBatch(
   // the radii length must be proven before the per-shard subspan below.
   // (The unlocked index_->data() read is safe because CompatibleWith only
   // touches the dataset's immutable kind/dim.)
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("pool-only executor has no index");
+  }
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
@@ -150,6 +153,9 @@ Result<KnnResults> QueryExecutor::KnnQueryBatchApprox(
     GtsQueryStats* stats_out) {
   // See RangeQueryBatch for why the prechecks are repeated here; the
   // fraction check additionally guards the exact/approx branch below.
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("pool-only executor has no index");
+  }
   if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
     return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
   }

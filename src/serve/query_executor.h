@@ -38,12 +38,18 @@ struct ExecutorOptions {
   uint32_t shard_size = 0;
 };
 
-/// One executor serves one index. The executor itself is thread-safe: any
-/// number of caller threads may submit batches concurrently; shards from
-/// all in-flight batches share the same worker pool.
+/// One executor serves one index — or, constructed with a null index, acts
+/// as a *pool-only* executor: Submit and ShardBounds still work (all the
+/// session/router layers need), while the direct batch entry points return
+/// kInvalidArgument. A pool-only executor is how one worker pool is shared
+/// across many indexes (serve::SessionRouter's tenants). The executor
+/// itself is thread-safe: any number of caller threads may submit batches
+/// concurrently; shards from all in-flight batches share the same worker
+/// pool.
 class QueryExecutor {
  public:
-  /// `index` must outlive the executor.
+  /// `index` must outlive the executor; it may be null for a pool-only
+  /// executor (see the class comment).
   explicit QueryExecutor(const GtsIndex* index, ExecutorOptions options = {});
   ~QueryExecutor();
   QueryExecutor(const QueryExecutor&) = delete;
@@ -74,9 +80,11 @@ class QueryExecutor {
   /// occupied pool).
   void Submit(std::function<void()> fn);
 
+  /// Worker threads in the pool.
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());
   }
+  /// The index the batch entry points serve (null for pool-only).
   const GtsIndex* index() const { return index_; }
 
   /// The [begin, end) query ranges a batch of `n` queries is split into.

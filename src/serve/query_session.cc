@@ -1,6 +1,7 @@
 #include "serve/query_session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <span>
 #include <utility>
@@ -8,6 +9,19 @@
 #include "serve/latch.h"
 
 namespace gts::serve {
+
+namespace {
+
+/// Percentile of an already-sorted sample (the bench harness's rank
+/// convention: ceil(q·n)).
+double SortedPercentile(const std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto rank =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
 
 QuerySession::QuerySession(GtsIndex* index, QueryExecutor* executor,
                            SessionOptions options)
@@ -30,8 +44,24 @@ QuerySession::~QuerySession() {
 }
 
 SessionStats QuerySession::stats() const {
+  SessionStats out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+    window = latency_ms_;
+  }
+  // Sort outside the lock — stats() is a poller path and must not stall
+  // admission or flush composition for a 2048-sample sort.
+  std::sort(window.begin(), window.end());
+  out.p50_latency_ms = SortedPercentile(window, 0.50);
+  out.p95_latency_ms = SortedPercentile(window, 0.95);
+  return out;
+}
+
+uint64_t QuerySession::inflight_reads() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return stats_.submitted - stats_.completed;
 }
 
 bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
@@ -44,8 +74,20 @@ bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
   return !stop_;
 }
 
-void QuerySession::EnqueueRead(PendingRead read) {
-  read.enqueued_at = Clock::now();
+void QuerySession::EnqueueRead(PendingRead read, uint64_t deadline_micros,
+                               Clock::time_point submitted_at) {
+  read.enqueued_at = submitted_at;
+  read.seq = next_seq_++;
+  read.has_deadline = deadline_micros > 0;
+  if (read.has_deadline) ++queued_deadlines_;
+  // The EDF key. A deadline-free read's implicit slack deadline is a
+  // fixed absolute instant, so a sustained stream of later urgent
+  // arrivals eventually ranks behind it — bounded waiting, no starvation.
+  read.deadline =
+      read.enqueued_at +
+      std::chrono::microseconds(read.has_deadline
+                                    ? deadline_micros
+                                    : options_.no_deadline_slack_micros);
   reads_.push_back(std::move(read));
   ++stats_.submitted;
   cv_dispatch_.notify_all();
@@ -58,7 +100,9 @@ void QuerySession::EnqueueWrite(PendingWrite write) {
 }
 
 std::future<Result<std::vector<uint32_t>>> QuerySession::SubmitRange(
-    const Dataset& src, uint32_t idx, float radius) {
+    const Dataset& src, uint32_t idx, float radius,
+    uint64_t deadline_micros) {
+  const auto submitted_at = Clock::now();
   PendingRead read;
   read.kind = PendingRead::Kind::kRange;
   read.radius = radius;
@@ -84,17 +128,20 @@ std::future<Result<std::vector<uint32_t>>> QuerySession::SubmitRange(
         Status::ResourceExhausted("session read queue full"));
     return future;
   }
-  EnqueueRead(std::move(read));
+  EnqueueRead(std::move(read), deadline_micros, submitted_at);
   return future;
 }
 
 std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnn(
-    const Dataset& src, uint32_t idx, uint32_t k) {
-  return SubmitKnnApprox(src, idx, k, /*candidate_fraction=*/1.0);
+    const Dataset& src, uint32_t idx, uint32_t k, uint64_t deadline_micros) {
+  return SubmitKnnApprox(src, idx, k, /*candidate_fraction=*/1.0,
+                         deadline_micros);
 }
 
 std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnnApprox(
-    const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction) {
+    const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction,
+    uint64_t deadline_micros) {
+  const auto submitted_at = Clock::now();
   PendingRead read;
   read.kind = PendingRead::Kind::kKnn;
   read.k = k;
@@ -120,7 +167,7 @@ std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnnApprox(
         Status::ResourceExhausted("session read queue full"));
     return future;
   }
-  EnqueueRead(std::move(read));
+  EnqueueRead(std::move(read), deadline_micros, submitted_at);
   return future;
 }
 
@@ -250,25 +297,50 @@ void QuerySession::DispatchLoop() {
     if (reads_.empty()) continue;
 
     // Dynamic batching: wait for the batch to fill or the oldest entry's
-    // deadline — unless already full, nudged, stopping, or a writer needs
-    // the gate to start counting.
+    // max-wait expiry — unless already full, nudged, stopping, or a writer
+    // needs the gate to start counting. The oldest entry is found by scan:
+    // an EDF sort at a previous flush may have reordered the queue, so the
+    // front is not necessarily the earliest arrival.
     if (reads_.size() < options_.max_batch && !flush_now_ && !stop_ &&
         writes_.empty()) {
-      const auto deadline =
-          reads_.front().enqueued_at +
-          std::chrono::microseconds(options_.max_wait_micros);
-      cv_dispatch_.wait_until(lock, deadline, [this] {
+      auto oldest = reads_.front().enqueued_at;
+      for (const PendingRead& r : reads_) {
+        oldest = std::min(oldest, r.enqueued_at);
+      }
+      const auto wait_until =
+          oldest + std::chrono::microseconds(options_.max_wait_micros);
+      cv_dispatch_.wait_until(lock, wait_until, [this] {
         return stop_ || flush_now_ || !writes_.empty() ||
                reads_.size() >= options_.max_batch;
       });
       if (reads_.empty()) continue;
     }
 
-    std::vector<PendingRead> batch;
     const size_t take =
         std::min<size_t>(reads_.size(), options_.max_batch);
+    // EDF composition: when the backlog exceeds the batch and any queued
+    // read carries an explicit deadline, drain the most urgent `take`
+    // instead of the oldest. (With none, every EDF key is arrival +
+    // no_deadline_slack, i.e. arrival order already; and a whole-queue
+    // flush needs no ordering — every entry goes into the same
+    // snapshot-pinned cycle either way.) The WHOLE queue is sorted, not
+    // just the drained prefix: the tail must be left in EDF order so
+    // that once the last explicit deadline drains, the skip-sort fast
+    // path above pops the remaining deadline-free reads in their
+    // documented submission order (a partial_sort's unspecified tail
+    // would scramble them).
+    if (options_.order == FlushOrder::kEdf && queued_deadlines_ > 0 &&
+        take < reads_.size()) {
+      std::sort(reads_.begin(), reads_.end(),
+                [](const PendingRead& a, const PendingRead& b) {
+                  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                  return a.seq < b.seq;  // unique: a total order
+                });
+    }
+    std::vector<PendingRead> batch;
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
+      if (reads_.front().has_deadline) --queued_deadlines_;
       batch.push_back(std::move(reads_.front()));
       reads_.pop_front();
     }
@@ -305,6 +377,13 @@ void QuerySession::RunWriter(PendingWrite* write) {
 }
 
 void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
+  if (options_.on_flush) {
+    std::vector<uint64_t> seqs;
+    seqs.reserve(batch->size());
+    for (const PendingRead& item : *batch) seqs.push_back(item.seq);
+    options_.on_flush(seqs);
+  }
+
   // Coalesce into homogeneous groups: all range queries form one batched
   // call; kNN queries group by (k, candidate_fraction), the parameters a
   // batched call shares.
@@ -345,8 +424,13 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
   }
 
   CountdownLatch latch(tasks.size());
+  // Per-item resolution instants, written by the task that resolves the
+  // item and read after the latch (the latch's lock orders the accesses):
+  // a fast group's reads must not be charged a slow sibling group's
+  // finish time in the deadline/latency accounting below.
+  std::vector<Clock::time_point> resolved_at(batch->size());
   for (const ShardTask& task : tasks) {
-    executor_->Submit([batch, &snapshot, &latch, &task] {
+    executor_->Submit([batch, &snapshot, &latch, &task, &resolved_at] {
       // Reassemble this shard's one-object queries into one batch.
       Dataset queries = (*batch)[(*task.items)[task.begin]].query;
       for (uint32_t i = task.begin + 1; i < task.end; ++i) {
@@ -381,12 +465,33 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
           }
         }
       }
+      const auto done = Clock::now();
+      for (uint32_t i = task.begin; i < task.end; ++i) {
+        resolved_at[(*task.items)[i]] = done;
+      }
       latch.CountDown();
     });
   }
   latch.Wait();
 
+  // Every promise of this flush is resolved; charge each item's latency
+  // and deadline accounting at its own group's resolution instant.
   std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const PendingRead& item = (*batch)[i];
+    const double ms = std::chrono::duration<double, std::milli>(
+                          resolved_at[i] - item.enqueued_at)
+                          .count();
+    if (latency_ms_.size() < kLatencyWindow) {
+      latency_ms_.push_back(ms);
+    } else {
+      latency_ms_[latency_next_] = ms;
+    }
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    if (item.has_deadline && resolved_at[i] > item.deadline) {
+      ++stats_.deadline_missed;
+    }
+  }
   stats_.coalesced_batches += (range_items.empty() ? 0 : 1) + knn_groups.size();
 }
 

@@ -14,6 +14,15 @@
 //    groups over the executor's worker pool, and resolves every future —
 //    all queries of one flush observe the same index state (cross-batch
 //    snapshot semantics).
+//  - Deadline-aware composition: each read submission may carry a
+//    `deadline_micros` target. Under the default earliest-deadline-first
+//    order a flush drains the most-urgent queued queries, not the oldest
+//    (FIFO remains the order among deadline-free submissions — which age
+//    via an implicit slack deadline, so urgent streams cannot starve
+//    them — and the whole-queue order under FlushOrder::kFifo). A query
+//    resolved after its deadline is still answered — the deadline shapes
+//    scheduling, it is not a timeout — but is counted in
+//    SessionStats::deadline_missed.
 //  - Admission control: at most `max_queue` read queries may be queued.
 //    An overflowing submission is either rejected immediately (its future
 //    resolves with kResourceExhausted) or blocks the submitter until
@@ -39,8 +48,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -55,6 +66,22 @@ enum class AdmissionPolicy {
   kBlock,   ///< backpressure: the submitter blocks until space frees
 };
 
+/// Order in which queued reads are drawn into flush batches.
+enum class FlushOrder {
+  /// Earliest deadline first: a flush drains the queued reads with the
+  /// nearest deadlines, arrival order breaking ties. A deadline-free
+  /// read participates with an implicit deadline of its arrival plus
+  /// SessionOptions::no_deadline_slack_micros — it yields to urgent work
+  /// but cannot be starved by a sustained urgent stream (its fixed
+  /// absolute deadline eventually beats every later arrival's). With no
+  /// explicit deadlines in the queue this degenerates to kFifo (and
+  /// costs nothing extra).
+  kEdf,
+  /// Strict arrival order, deadlines ignored for scheduling (they are
+  /// still tracked in SessionStats::deadline_missed).
+  kFifo,
+};
+
 struct SessionOptions {
   /// Flush when this many read queries are queued.
   uint32_t max_batch = 64;
@@ -66,6 +93,20 @@ struct SessionOptions {
   /// Writer-fairness gate: with updates queued, at most this many more
   /// read flush cycles run before the writers get the index exclusively.
   uint32_t reader_flushes_per_writer = 1;
+  /// Flush composition order; kEdf unless deadline inversion is wanted
+  /// for comparison runs (the serve bench's EDF-vs-FIFO phase).
+  FlushOrder order = FlushOrder::kEdf;
+  /// Implicit EDF deadline for deadline-free reads (see FlushOrder::kEdf):
+  /// the longest a deadline-free read can be out-ranked by urgent traffic.
+  /// Missing the implicit deadline is not counted in deadline_missed.
+  uint64_t no_deadline_slack_micros = 100'000;
+  /// Optional flush observer, invoked on the dispatcher thread as each
+  /// read flush batch is composed (before it executes) with the batch's
+  /// submission sequence numbers in flush order. A read's sequence number
+  /// is its 0-based admission rank: the i-th read accepted into the queue
+  /// has seq i. The span is valid only during the call. For tests and
+  /// tracing; must not call back into the session.
+  std::function<void(std::span<const uint64_t>)> on_flush;
 };
 
 /// Counters since construction. A consistent snapshot is returned by
@@ -81,6 +122,15 @@ struct SessionStats {
   /// fairness gate bounds this by reader_flushes_per_writer + 1 (one
   /// in-flight flush plus the gate's allowance).
   uint64_t max_writer_wait_flushes = 0;
+  /// Reads resolved after their requested deadline_micros (deadline-free
+  /// reads never count). The answer is still delivered; this is the
+  /// scheduling-quality counter the EDF order exists to minimize.
+  uint64_t deadline_missed = 0;
+  /// Submit→resolve wall latency percentiles over a sliding window of the
+  /// most recent completed reads (see kLatencyWindow). Zero until the
+  /// first read completes.
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
 };
 
 /// One streaming session over one index. See the file comment.
@@ -108,24 +158,36 @@ class QuerySession {
   // destroyed as soon as the call returns. Invalid submissions (index out
   // of range, incompatible kind/dim) resolve immediately with
   // kInvalidArgument; queue overflow per the admission policy.
+  // `deadline_micros` (0 = no deadline) asks for resolution within that
+  // many microseconds of submission: under FlushOrder::kEdf urgent reads
+  // jump the queue, and a read resolved late counts in
+  // SessionStats::deadline_missed (it is not cancelled).
 
-  std::future<Result<std::vector<uint32_t>>> SubmitRange(const Dataset& src,
-                                                         uint32_t idx,
-                                                         float radius);
-  std::future<Result<std::vector<Neighbor>>> SubmitKnn(const Dataset& src,
-                                                       uint32_t idx,
-                                                       uint32_t k);
+  /// Submits one metric range query (radius `radius` around the object).
+  std::future<Result<std::vector<uint32_t>>> SubmitRange(
+      const Dataset& src, uint32_t idx, float radius,
+      uint64_t deadline_micros = 0);
+  /// Submits one exact kNN query.
+  std::future<Result<std::vector<Neighbor>>> SubmitKnn(
+      const Dataset& src, uint32_t idx, uint32_t k,
+      uint64_t deadline_micros = 0);
+  /// Submits one approximate kNN query (GtsIndex::KnnQueryBatchApprox).
   std::future<Result<std::vector<Neighbor>>> SubmitKnnApprox(
-      const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction);
+      const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction,
+      uint64_t deadline_micros = 0);
 
   // --- Update submissions (never rejected, writer-fairness gated) -------
   // Applied by the dispatcher between read flush cycles, in submission
   // order, each through the index's own exclusive-writer strategy.
 
+  /// Submits a streaming insert of object `idx` of `src`.
   std::future<Result<uint32_t>> SubmitInsert(const Dataset& src, uint32_t idx);
+  /// Submits a streaming delete of object `id`.
   std::future<Status> SubmitRemove(uint32_t id);
+  /// Submits a batch update (all removals + inserts, then reconstruction).
   std::future<Status> SubmitBatchUpdate(const Dataset& inserts,
                                         std::vector<uint32_t> removals);
+  /// Submits a full reconstruction over the alive objects.
   std::future<Status> SubmitRebuild();
 
   /// Nudges the batcher: everything queued right now flushes without
@@ -134,8 +196,17 @@ class QuerySession {
   /// Blocks until every submission made before the call has completed.
   void Drain();
 
+  /// Consistent snapshot of the counters and latency percentiles.
   SessionStats stats() const;
+  /// Reads admitted but not yet resolved (queued + mid-flush). O(1) —
+  /// the quota-check path; stats() pays for percentile aggregation.
+  uint64_t inflight_reads() const;
+  /// The index this session serves.
   const GtsIndex* index() const { return index_; }
+
+  /// Completed-read latencies are aggregated over a ring of this many
+  /// samples; stats() reports p50/p95 of the window.
+  static constexpr size_t kLatencyWindow = 2048;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -146,6 +217,10 @@ class QuerySession {
     float radius = 0.0f;
     uint32_t k = 0;
     double candidate_fraction = 1.0;
+    uint64_t seq = 0;            ///< 0-based admission rank (EDF tie-break)
+    bool has_deadline = false;   ///< explicit deadline (miss-counted)
+    /// EDF key: the explicit deadline, or arrival + no_deadline_slack.
+    Clock::time_point deadline;
     Clock::time_point enqueued_at;
     std::promise<Result<std::vector<uint32_t>>> range_promise;
     std::promise<Result<std::vector<Neighbor>>> knn_promise;
@@ -167,7 +242,11 @@ class QuerySession {
   /// it does; false when the submission must be rejected (kReject or
   /// stopping). Called with `lock` held.
   bool AdmitRead(std::unique_lock<std::mutex>* lock);
-  void EnqueueRead(PendingRead read);
+  /// `submitted_at` anchors the deadline and the latency sample at
+  /// *submission*: under AdmissionPolicy::kBlock the admission wait is
+  /// part of what the caller experiences, so it counts.
+  void EnqueueRead(PendingRead read, uint64_t deadline_micros,
+                   Clock::time_point submitted_at);
   void EnqueueWrite(PendingWrite write);
 
   void DispatchLoop();
@@ -187,6 +266,10 @@ class QuerySession {
   std::deque<PendingRead> reads_;
   std::vector<PendingWrite> writes_;
   SessionStats stats_;
+  uint64_t next_seq_ = 0;         ///< admission rank of the next read
+  uint64_t queued_deadlines_ = 0; ///< queued reads carrying a deadline
+  std::vector<double> latency_ms_;  ///< ring of recent completed-read ms
+  size_t latency_next_ = 0;
   uint64_t flushes_while_writer_waits_ = 0;
   bool flush_now_ = false;
   bool busy_ = false;  ///< dispatcher is mid-flush / mid-write (off-lock)

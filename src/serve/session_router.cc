@@ -1,0 +1,160 @@
+#include "serve/session_router.h"
+
+#include <utility>
+
+namespace gts::serve {
+
+namespace {
+
+/// A future already resolved with `status` — the router's immediate-reject
+/// path (unknown tenant, quota exceeded).
+template <typename T>
+std::future<T> Resolved(T value) {
+  std::promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+}  // namespace
+
+SessionRouter::SessionRouter(std::vector<GtsIndex*> tenants,
+                             RouterOptions options)
+    : options_(options) {
+  // One pool-only executor: tenant flushes only need Submit/ShardBounds,
+  // so a single worker budget serves every tenant (see query_executor.h).
+  executor_ = std::make_unique<QueryExecutor>(
+      nullptr, ExecutorOptions{options_.executor_threads, 0});
+  tenants_.reserve(tenants.size());
+  for (GtsIndex* index : tenants) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->index = index;
+    tenant->session = std::make_unique<QuerySession>(index, executor_.get(),
+                                                     options_.session);
+    tenants_.push_back(std::move(tenant));
+  }
+}
+
+SessionRouter::~SessionRouter() {
+  // Session destructors drain; explicit reset before the executor dies.
+  tenants_.clear();
+}
+
+bool SessionRouter::OverQuota(const Tenant& tenant) const {
+  if (options_.max_inflight_per_tenant == 0) return false;
+  return tenant.session->inflight_reads() >= options_.max_inflight_per_tenant;
+}
+
+std::future<Result<std::vector<uint32_t>>> SessionRouter::SubmitRange(
+    uint32_t tenant, const Dataset& src, uint32_t idx, float radius,
+    uint64_t deadline_micros) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Result<std::vector<uint32_t>>>(
+        Status::InvalidArgument("unknown tenant id"));
+  }
+  Tenant& t = *tenants_[tenant];
+  if (OverQuota(t)) {
+    t.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Resolved<Result<std::vector<uint32_t>>>(
+        Status::ResourceExhausted("tenant inflight quota exceeded"));
+  }
+  return t.session->SubmitRange(src, idx, radius, deadline_micros);
+}
+
+std::future<Result<std::vector<Neighbor>>> SessionRouter::SubmitKnn(
+    uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
+    uint64_t deadline_micros) {
+  return SubmitKnnApprox(tenant, src, idx, k, /*candidate_fraction=*/1.0,
+                         deadline_micros);
+}
+
+std::future<Result<std::vector<Neighbor>>> SessionRouter::SubmitKnnApprox(
+    uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
+    double candidate_fraction, uint64_t deadline_micros) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Result<std::vector<Neighbor>>>(
+        Status::InvalidArgument("unknown tenant id"));
+  }
+  Tenant& t = *tenants_[tenant];
+  if (OverQuota(t)) {
+    t.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Resolved<Result<std::vector<Neighbor>>>(
+        Status::ResourceExhausted("tenant inflight quota exceeded"));
+  }
+  return t.session->SubmitKnnApprox(src, idx, k, candidate_fraction,
+                                    deadline_micros);
+}
+
+std::future<Result<uint32_t>> SessionRouter::SubmitInsert(uint32_t tenant,
+                                                          const Dataset& src,
+                                                          uint32_t idx) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Result<uint32_t>>(
+        Status::InvalidArgument("unknown tenant id"));
+  }
+  return tenants_[tenant]->session->SubmitInsert(src, idx);
+}
+
+std::future<Status> SessionRouter::SubmitRemove(uint32_t tenant, uint32_t id) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
+  }
+  return tenants_[tenant]->session->SubmitRemove(id);
+}
+
+std::future<Status> SessionRouter::SubmitBatchUpdate(
+    uint32_t tenant, const Dataset& inserts, std::vector<uint32_t> removals) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
+  }
+  return tenants_[tenant]->session->SubmitBatchUpdate(inserts,
+                                                      std::move(removals));
+}
+
+std::future<Status> SessionRouter::SubmitRebuild(uint32_t tenant) {
+  if (tenant >= tenants_.size()) {
+    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
+  }
+  return tenants_[tenant]->session->SubmitRebuild();
+}
+
+void SessionRouter::Flush() {
+  for (auto& tenant : tenants_) tenant->session->Flush();
+}
+
+void SessionRouter::Drain() {
+  for (auto& tenant : tenants_) tenant->session->Drain();
+}
+
+RouterStats SessionRouter::stats() const {
+  RouterStats out;
+  out.tenants.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) {
+    const SessionStats s = tenant->session->stats();
+    TenantStats t;
+    t.submitted = s.submitted;
+    t.rejected = s.rejected;
+    t.quota_rejected = tenant->quota_rejected.load(std::memory_order_relaxed);
+    t.completed = s.completed;
+    t.deadline_missed = s.deadline_missed;
+    t.writer_ops = s.writer_ops;
+    t.p50_latency_ms = s.p50_latency_ms;
+    t.p95_latency_ms = s.p95_latency_ms;
+    {
+      // Snapshot-consistent per-tenant index view — non-blocking, so a
+      // tenant mid-rebuild (exclusive writer lock held for the whole
+      // reconstruction) cannot stall the stats poll; its alive_objects
+      // reads 0 for that sample instead (see TenantStats).
+      if (const auto snapshot = tenant->index->TrySnapshotForRead()) {
+        t.alive_objects = snapshot->alive_size();
+      }
+    }
+    out.submitted += t.submitted;
+    out.rejected += t.rejected + t.quota_rejected;
+    out.completed += t.completed;
+    out.deadline_missed += t.deadline_missed;
+    out.tenants.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace gts::serve

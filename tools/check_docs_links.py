@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fail when the repo's markdown docs contain broken relative links.
+
+Usage:
+    check_docs_links.py [REPO_ROOT]
+
+Scans every *.md under docs/ plus the top-level README.md for inline
+markdown links `[text](target)` and reference definitions `[id]: target`,
+and verifies that each *relative* target resolves to an existing file or
+directory under the repo. External schemes (http/https/mailto) and
+pure-anchor links (`#section`) are skipped; a `path#anchor` target is
+checked for the path part only.
+
+Exit status: 0 when every link resolves, 1 with one line per broken link
+otherwise, 2 on usage errors. CI runs this in the lint job; locally it is
+registered as the `docs_link_check` ctest (label: smoke).
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links (image targets must exist too). The text part tolerates one
+# level of bracket nesting so image-wrapped links ('[![badge](img)](dest)')
+# yield their outer destination instead of slipping past the gate. Stops
+# at whitespace or ')' so titles ('[t](path "title")') keep only the path.
+INLINE_LINK_RE = re.compile(
+    r"\[(?:[^\[\]]|\[[^\]]*\])*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+REFERENCE_DEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    """The files whose links are checked: docs/**/*.md + README.md."""
+    files = sorted((root / "docs").glob("**/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def broken_links(root):
+    """Returns ['file: target', ...] for every unresolvable relative link."""
+    broken = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        targets = INLINE_LINK_RE.findall(text) + REFERENCE_DEF_RE.findall(text)
+        for target in targets:
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-file anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    return broken
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = pathlib.Path(argv[1] if len(argv) == 2 else ".").resolve()
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+    files = markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}/docs", file=sys.stderr)
+        return 1
+    broken = broken_links(root)
+    for line in broken:
+        print(f"broken link: {line}", file=sys.stderr)
+    if broken:
+        return 1
+    print(f"checked {len(files)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
