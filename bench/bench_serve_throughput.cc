@@ -33,12 +33,23 @@
 // under EDF vs FIFO flush composition (miss percent in the latency fields
 // so growth warns). Like the stream series, these depend on host
 // scheduling and gate warn-only.
+//
+// `--sharded` runs the scatter/gather phase on T-Loc: the corpus
+// partitioned round-robin over 1/2/4 GtsIndex shards behind one
+// serve::ShardedFrontend (shared 8-thread pool), pouring kNN requests
+// through the unified Submit(serve::Request) entry point. Recorded as
+// `gts-serve-shard/...` series: modeled throughput and wall
+// submit→merged-result latency per shard count. The sharded answers are
+// byte-identical to a single index (tests/serve_sharded_test.cc), so this
+// phase measures pure serving-plane cost/scaling; host-dependent,
+// warn-only like the other serve phases.
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <numeric>
@@ -50,7 +61,9 @@
 #include "core/gts.h"
 #include "serve/query_executor.h"
 #include "serve/query_session.h"
+#include "serve/request.h"
 #include "serve/session_router.h"
+#include "serve/sharded_frontend.h"
 
 using namespace gts;
 
@@ -79,18 +92,81 @@ double ParallelMakespan(const std::vector<double>& shard_seconds,
   return *std::max_element(worker_busy.begin(), worker_busy.end());
 }
 
-double PercentileMs(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t rank =
-      static_cast<size_t>(std::ceil(q * static_cast<double>(v.size())));
-  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
-
 struct OpResult {
   double qpm_model = 0.0;   // modeled parallel throughput, queries/min
   double p50_ms = 0.0;      // wall-clock per-query latency
   double p95_ms = 0.0;
+};
+
+/// Open-loop completion collector shared by every streaming phase: futures
+/// enqueue FIFO with their submission instant; a private thread gets each
+/// in order and invokes `on_done(response, wall_ms)` with the
+/// submit→after-get wall time (so a deferred gather's merge cost counts,
+/// as it should — the caller pays it). The callback runs on the collector
+/// thread; state it writes is safe to read after Finish() (which drains
+/// the queue and joins, and runs at destruction if not called).
+class ResponseCollector {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Callback = std::function<void(serve::Response, double)>;
+
+  explicit ResponseCollector(Callback on_done)
+      : on_done_(std::move(on_done)), thread_([this] { Loop(); }) {}
+  ~ResponseCollector() { Finish(); }
+  ResponseCollector(const ResponseCollector&) = delete;
+  ResponseCollector& operator=(const ResponseCollector&) = delete;
+
+  /// `submitted` is captured by the caller BEFORE the Submit call, so the
+  /// latency includes any admission blocking the submitter experienced.
+  void Add(std::future<serve::Response> fut, Clock::time_point submitted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(Pending{std::move(fut), submitted});
+    }
+    cv_.notify_one();
+  }
+
+  /// Drains everything enqueued, then joins the collector thread.
+  void Finish() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done_) return;
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  struct Pending {
+    std::future<serve::Response> fut;
+    Clock::time_point submitted;
+  };
+
+  void Loop() {
+    for (;;) {
+      Pending item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return !pending_.empty() || done_; });
+        if (pending_.empty()) return;
+        item = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      serve::Response res = item.fut.get();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - item.submitted)
+                            .count();
+      on_done_(std::move(res), ms);
+    }
+  }
+
+  Callback on_done_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool done_ = false;
+  std::thread thread_;
 };
 
 /// Per-shard sim times, measured serially on the device clock by running
@@ -125,8 +201,8 @@ OpResult MeasureOp(const std::vector<double>& shard_seconds, uint32_t batch,
     per_query_ms.push_back(timer.ElapsedSeconds() * 1e3 /
                            static_cast<double>(batch));
   }
-  r.p50_ms = PercentileMs(per_query_ms, 0.50);
-  r.p95_ms = PercentileMs(per_query_ms, 0.95);
+  r.p50_ms = bench::PercentileOf(per_query_ms, 0.50);
+  r.p95_ms = bench::PercentileOf(per_query_ms, 0.95);
   return r;
 }
 
@@ -187,7 +263,6 @@ void RecordStream(const bench::BenchEnv& env, std::string_view op,
 StreamResult StreamRange(const bench::BenchEnv& env, GtsIndex* index,
                          serve::QueryExecutor* exec, const Dataset& queries,
                          float radius) {
-  using SteadyClock = std::chrono::steady_clock;
   serve::SessionOptions opts;
   opts.max_batch = kStreamBudget;
   opts.max_wait_micros = 200;
@@ -195,110 +270,46 @@ StreamResult StreamRange(const bench::BenchEnv& env, GtsIndex* index,
   opts.admission = serve::AdmissionPolicy::kReject;
   serve::QuerySession session(index, exec, opts);
 
-  struct Pending {
-    std::future<Result<std::vector<uint32_t>>> fut;
-    SteadyClock::time_point submitted;
-  };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Pending> pending;
-  bool done_submitting = false;
-
   StreamResult r;
   std::vector<double> latencies_ms;
-  std::thread collector([&] {
-    for (;;) {
-      Pending item;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return !pending.empty() || done_submitting; });
-        if (pending.empty()) return;
-        item = Pending{std::move(pending.front().fut),
-                       pending.front().submitted};
-        pending.pop_front();
-      }
-      auto res = item.fut.get();
-      const auto now = SteadyClock::now();
-      if (res.ok()) {
-        ++r.completed;
-        latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(now - item.submitted)
-                .count());
-      }
+  ResponseCollector reads([&](serve::Response res, double ms) {
+    if (res.ok()) {
+      ++r.completed;
+      latencies_ms.push_back(ms);
     }
   });
-
   // Writer futures get their own collector so writer latency is measured
   // at completion, not after the read collector has drained everything.
-  struct PendingWrite {
-    std::future<Result<uint32_t>> fut;
-    SteadyClock::time_point submitted;
-  };
-  std::mutex wmu;
-  std::condition_variable wcv;
-  std::deque<PendingWrite> wpending;
-  bool wdone_submitting = false;
   std::vector<double> writer_ms;
-  std::thread writer_collector([&] {
-    for (;;) {
-      PendingWrite item;
-      {
-        std::unique_lock<std::mutex> lock(wmu);
-        wcv.wait(lock, [&] { return !wpending.empty() || wdone_submitting; });
-        if (wpending.empty()) return;
-        item = PendingWrite{std::move(wpending.front().fut),
-                            wpending.front().submitted};
-        wpending.pop_front();
-      }
-      auto res = item.fut.get();
-      writer_ms.push_back(std::chrono::duration<double, std::milli>(
-                              SteadyClock::now() - item.submitted)
-                              .count());
-      if (res.ok()) r.inserted_ids.push_back(res.value());
-    }
+  ResponseCollector writers([&](serve::Response res, double ms) {
+    writer_ms.push_back(ms);
+    if (res.ok()) r.inserted_ids.push_back(res.inserted().value());
   });
 
   const double sim0 = env.device->clock().ElapsedSeconds();
   for (uint32_t i = 0; i < kStreamReads; ++i) {
-    const auto submitted = SteadyClock::now();
-    auto fut = session.SubmitRange(queries, i % queries.size(), radius);
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      pending.push_back(Pending{std::move(fut), submitted});
-    }
-    cv.notify_one();
+    const auto submitted = ResponseCollector::Clock::now();
+    reads.Add(session.Submit(
+                  serve::Request::Range(queries, i % queries.size(), radius)),
+              submitted);
     if ((i + 1) % kStreamInsertEvery == 0) {
-      auto wfut = session.SubmitInsert(
-          env.data, (i / kStreamInsertEvery) % env.data.size());
-      {
-        std::lock_guard<std::mutex> lock(wmu);
-        wpending.push_back(PendingWrite{std::move(wfut), SteadyClock::now()});
-      }
-      wcv.notify_one();
+      writers.Add(session.Submit(serve::Request::Insert(
+                      env.data, (i / kStreamInsertEvery) % env.data.size())),
+                  ResponseCollector::Clock::now());
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    done_submitting = true;
-  }
-  cv.notify_all();
-  {
-    std::lock_guard<std::mutex> lock(wmu);
-    wdone_submitting = true;
-  }
-  wcv.notify_all();
-  collector.join();
-  writer_collector.join();
+  reads.Finish();
+  writers.Finish();
   session.Drain();
   const double sim_delta = env.device->clock().ElapsedSeconds() - sim0;
 
   r.attempted = kStreamReads;
   r.qpm_model = bench::ThroughputPerMin(
       static_cast<uint32_t>(r.completed), sim_delta);
-  r.p50_ms = PercentileMs(latencies_ms, 0.50);
-  r.p95_ms = PercentileMs(latencies_ms, 0.95);
-  r.writer_p50_ms = PercentileMs(writer_ms, 0.50);
-  r.writer_p95_ms = PercentileMs(writer_ms, 0.95);
+  r.p50_ms = bench::PercentileOf(latencies_ms, 0.50);
+  r.p95_ms = bench::PercentileOf(latencies_ms, 0.95);
+  r.writer_p50_ms = bench::PercentileOf(writer_ms, 0.50);
+  r.writer_p95_ms = bench::PercentileOf(writer_ms, 0.95);
   r.reject_pct = 100.0 *
                  static_cast<double>(r.attempted - r.completed) /
                  static_cast<double>(r.attempted);
@@ -337,8 +348,8 @@ StreamResult PrebatchedRange(const bench::BenchEnv& env, GtsIndex* index,
   r.attempted = kStreamReads;
   r.qpm_model = bench::ThroughputPerMin(
       static_cast<uint32_t>(r.completed), sim_delta);
-  r.p50_ms = PercentileMs(batch_ms, 0.50);
-  r.p95_ms = PercentileMs(batch_ms, 0.95);
+  r.p50_ms = bench::PercentileOf(batch_ms, 0.50);
+  r.p95_ms = bench::PercentileOf(batch_ms, 0.95);
   return r;
 }
 
@@ -469,7 +480,7 @@ struct RouterRun {
 void SubmitTenantLoad(serve::SessionRouter* router, uint32_t tenant,
                       const Dataset& queries, uint32_t reads, bool paced,
                       bool deadlines, RouterRun* run) {
-  std::vector<std::future<Result<std::vector<Neighbor>>>> pending;
+  std::vector<std::future<serve::Response>> pending;
   pending.reserve(paced ? kRouterPaceWindow : reads);
   uint64_t tight_micros = 0;
   for (uint32_t i = 0; i < reads; ++i) {
@@ -488,9 +499,9 @@ void SubmitTenantLoad(serve::SessionRouter* router, uint32_t tenant,
       deadline = tight_micros;
       ++run->tight_submitted;
     }
-    pending.push_back(router->SubmitKnn(tenant, queries,
-                                        i % queries.size(), kDefaultK,
-                                        deadline));
+    pending.push_back(router->Submit(
+        serve::Request::Knn(queries, i % queries.size(), kDefaultK, deadline)
+            .ForTenant(tenant)));
     if (paced && pending.size() >= kRouterPaceWindow) {
       for (auto& f : pending) (void)f.get();
       pending.clear();
@@ -660,15 +671,127 @@ void RunRouterPhase(const bench::BenchEnv& env) {
               static_cast<unsigned long long>(edf.tight_micros));
 }
 
+// ---------------------------------------------------------------------------
+// Sharded (scatter/gather) phase.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kShardCounts[] = {1, 2, 4};
+constexpr uint32_t kShardReads = 512;
+constexpr uint32_t kShardThreads = 8;  ///< shared pool across all shards
+constexpr uint32_t kShardBatchBudget = 32;  ///< per-shard flush budget
+
+/// One shard-count run: the T-Loc corpus round-robin-partitioned over N
+/// shards behind a ShardedFrontend, kShardReads kNN requests poured
+/// open-loop through Submit(Request), a collector timing each request
+/// submit→merged-result (the deferred gather runs on the collector, so
+/// the wall numbers include the merge — the honest end-to-end cost).
+void RunShardedCount(const bench::BenchEnv& env, uint32_t num_shards,
+                     const Dataset& queries) {
+  GtsOptions options;
+  options.node_capacity = env.Context().gts_node_capacity;
+  options.seed = env.Context().seed;
+  std::vector<std::unique_ptr<GtsIndex>> owned;
+  std::vector<GtsIndex*> shards;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::vector<uint32_t> ids;
+    for (uint32_t g = s; g < env.data.size(); g += num_shards) {
+      ids.push_back(g);
+    }
+    auto built = GtsIndex::Build(env.data.Slice(ids), env.metric.get(),
+                                 env.device.get(), options);
+    if (!built.ok()) {
+      std::printf("sharded phase: shard %u build failed: %s\n", s,
+                  built.status().ToString().c_str());
+      return;
+    }
+    owned.push_back(std::move(built).value());
+    shards.push_back(owned.back().get());
+  }
+
+  serve::FrontendOptions frontend_options;
+  frontend_options.session.max_batch = kShardBatchBudget;
+  frontend_options.session.max_wait_micros = 200;
+  frontend_options.session.max_queue = 4 * kShardBatchBudget;
+  frontend_options.session.admission = serve::AdmissionPolicy::kBlock;
+  frontend_options.executor_threads = kShardThreads;
+  serve::ShardedFrontend frontend(shards, frontend_options);
+
+  uint64_t completed = 0;
+  std::vector<double> latencies_ms;
+  // The collector's get() runs the deferred gather+merge, so the recorded
+  // latency is the true submit→merged-result cost.
+  ResponseCollector collector([&](serve::Response res, double ms) {
+    if (res.ok()) {
+      ++completed;
+      latencies_ms.push_back(ms);
+    }
+  });
+
+  const double sim0 = env.device->clock().ElapsedSeconds();
+  for (uint32_t i = 0; i < kShardReads; ++i) {
+    const auto submitted = ResponseCollector::Clock::now();
+    collector.Add(frontend.Submit(serve::Request::Knn(
+                      queries, i % queries.size(), kDefaultK)),
+                  submitted);
+  }
+  collector.Finish();
+  frontend.Drain();
+  const double sim_delta = env.device->clock().ElapsedSeconds() - sim0;
+
+  const double qpm = bench::ThroughputPerMin(
+      static_cast<uint32_t>(completed), sim_delta);
+  const double p50 = bench::PercentileOf(latencies_ms, 0.50);
+  const double p95 = bench::PercentileOf(latencies_ms, 0.95);
+
+  bench::BenchResult res;
+  res.name = bench::SeriesName(
+      "gts-serve-shard", "knn",
+      "shards=" + std::to_string(num_shards) + ",b=" +
+          std::to_string(kShardBatchBudget) + ",threads=" +
+          std::to_string(kShardThreads));
+  res.dataset = env.spec->name;
+  res.samples = completed;
+  res.p50_latency_ms = p50;
+  res.p95_latency_ms = p95;
+  res.throughput_per_min = qpm;
+  bench::GlobalReporter().AddResult(res);
+
+  std::printf("  %7u %14s %12.4f %12.4f   (%llu of %u completed)\n",
+              num_shards, bench::FormatThroughput(qpm).c_str(), p50, p95,
+              static_cast<unsigned long long>(completed), kShardReads);
+}
+
+void RunShardedPhase(const bench::BenchEnv& env) {
+  const Dataset queries = SampleQueries(env.data, 64, 5);
+  std::printf("%s sharded (scatter/gather): %u kNN reads via "
+              "Submit(Request), round-robin partition, budget %u, %u "
+              "shared threads\n",
+              env.spec->name, kShardReads, kShardBatchBudget, kShardThreads);
+  std::printf("  %7s %14s %12s %12s\n", "shards", "knn q/min", "p50 ms",
+              "p95 ms");
+  for (const uint32_t num_shards : kShardCounts) {
+    RunShardedCount(env, num_shards, queries);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool streaming = false;
   bool router = false;
+  bool sharded = false;
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--streaming") == 0 ||
-        std::strcmp(argv[i], "--router") == 0) {
-      (std::strcmp(argv[i], "--streaming") == 0 ? streaming : router) = true;
+        std::strcmp(argv[i], "--router") == 0 ||
+        std::strcmp(argv[i], "--sharded") == 0) {
+      if (std::strcmp(argv[i], "--streaming") == 0) {
+        streaming = true;
+      } else if (std::strcmp(argv[i], "--router") == 0) {
+        router = true;
+      } else {
+        sharded = true;
+      }
       for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
       argv[--argc] = nullptr;
     } else {
@@ -754,6 +877,9 @@ int main(int argc, char** argv) {
     }
     if (router && id == DatasetId::kTLoc) {
       RunRouterPhase(env);
+    }
+    if (sharded && id == DatasetId::kTLoc) {
+      RunShardedPhase(env);
     }
   }
   bench::PrintRule('=');

@@ -2,11 +2,81 @@
 // the five datasets. Reproduces the paper's failure entries: EGNAT and
 // GANNS cannot build T-Loc within their memory budgets; LBPG-Tree and GANNS
 // are unsupported outside their data families; GPU-Table has no index.
+//
+// Additionally records a wall-clock build macro series on the largest
+// configs (`gts-table4/wall-build@...`): real GTS builder time on this
+// host, repeated kWallBuildReps times, so builder perf regressions show
+// up on real hardware and not just the sim model (ROADMAP's wall-time
+// build item). Wall numbers are host-dependent; the CI perf gate diffs
+// them warn-only, unlike the modeled `<Method>/build` series.
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
+#include "common/timer.h"
 
 using namespace gts;
+
+namespace {
+
+constexpr int kWallBuildReps = 5;
+/// The two largest scaled corpora (T-Loc 20k L2 points, Color 10k L1
+/// histograms) — where builder time is macro enough for wall clocks to
+/// mean something.
+constexpr DatasetId kWallBuildDatasets[] = {DatasetId::kTLoc,
+                                            DatasetId::kColor};
+
+void RunWallBuildSeries(std::vector<bench::BenchEnv>& envs) {
+  std::printf("Wall-clock GTS build (largest configs, %d reps; "
+              "host-dependent — gated warn-only)\n",
+              kWallBuildReps);
+  for (const DatasetId id : kWallBuildDatasets) {
+    bench::BenchEnv* env = nullptr;
+    for (bench::BenchEnv& e : envs) {
+      if (e.id == id) env = &e;
+    }
+    if (env == nullptr) continue;
+
+    std::vector<double> wall_ms;
+    for (int rep = 0; rep < kWallBuildReps; ++rep) {
+      auto method = MakeMethod(MethodId::kGts, env->Context());
+      WallTimer timer;
+      const Status status = method->Build(&env->data, env->metric.get());
+      if (!status.ok()) {
+        std::printf("  %-9s wall build failed: %s\n", env->spec->name,
+                    status.ToString().c_str());
+        break;
+      }
+      wall_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    if (wall_ms.empty()) continue;
+
+    const double p50 = bench::PercentileOf(wall_ms, 0.50);
+    const double p95 = bench::PercentileOf(wall_ms, 0.95);
+    // Objects indexed per wall minute at the median build time — the
+    // higher-is-better number diff_bench gates on.
+    const double objects_per_min =
+        p50 > 0.0 ? static_cast<double>(env->data.size()) / (p50 / 1e3) * 60.0
+                  : 0.0;
+
+    bench::BenchResult res;
+    res.name = bench::SeriesName(
+        "gts-table4", "wall-build",
+        "n=" + std::to_string(env->data.size()));
+    res.dataset = env->spec->name;
+    res.samples = wall_ms.size();
+    res.p50_latency_ms = p50;
+    res.p95_latency_ms = p95;
+    res.throughput_per_min = objects_per_min;
+    bench::GlobalReporter().AddResult(res);
+
+    std::printf("  %-9s n=%-6u p50 %9.2f ms  p95 %9.2f ms  %12s obj/min\n",
+                env->spec->name, env->data.size(), p50, p95,
+                bench::FormatThroughput(objects_per_min).c_str());
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonOutput json_out(&argc, argv, "table4_construction");
@@ -45,6 +115,8 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::PrintRule('=');
+  RunWallBuildSeries(envs);
   bench::PrintRule('=');
   std::printf("Shape checks vs the paper: GTS builds faster than every "
               "other general-purpose index;\nGPU-Tree pays per-node kernel "

@@ -1,8 +1,10 @@
-// Multi-tenant serving with serve::SessionRouter: two tenants (a
-// geo-location index and a color-histogram index) behind one router,
-// deadline-tagged queries scheduled earliest-deadline-first, per-tenant
-// inflight quotas, and a RouterStats snapshot at the end. The runnable
-// twin of the walkthrough in docs/SERVING.md.
+// Multi-tenant serving with serve::SessionRouter and the unified typed
+// request plane: two tenants (a geo-location index and a color-histogram
+// index) behind one router, every operation submitted through the ONE
+// Submit(serve::Request) entry point — deadline-tagged queries scheduled
+// earliest-deadline-first, per-tenant inflight quotas, and a RouterStats
+// snapshot at the end. The runnable twin of the walkthrough in
+// docs/SERVING.md.
 //
 //   $ ./build/examples/example_router
 #include <cstdio>
@@ -12,6 +14,7 @@
 #include "core/gts.h"
 #include "data/generators.h"
 #include "data/workload.h"
+#include "serve/request.h"
 #include "serve/session_router.h"
 
 using namespace gts;
@@ -56,34 +59,37 @@ int main() {
   options.max_inflight_per_tenant = 64;
   serve::SessionRouter router({geo_index.get(), color_index.get()}, options);
 
-  // 3. Submit interleaved traffic. Tenant 0 queries carry a 5 ms deadline;
-  // tenant 1 queries are deadline-free and rank behind urgent work when
-  // both tenants' flushes contend for the pool.
+  // 3. Submit interleaved traffic through the unified request plane: one
+  // Submit(serve::Request) entry point serves every operation; the typed
+  // payload picks range/kNN/insert and ForTenant routes it. Tenant 0
+  // queries carry a 5 ms deadline; tenant 1 queries are deadline-free and
+  // rank behind urgent work when both tenants' flushes contend for the
+  // pool.
   const Dataset geo_queries = SampleQueries(geo, 32, /*seed=*/7);
   const Dataset color_queries = SampleQueries(color, 32, /*seed=*/8);
   const float geo_radius =
       CalibrateRadius(geo, *geo_metric, 8e-4, /*samples=*/100, /*seed=*/3);
 
-  std::vector<std::future<Result<std::vector<uint32_t>>>> range_futures;
-  std::vector<std::future<Result<std::vector<Neighbor>>>> knn_futures;
+  std::vector<std::future<serve::Response>> range_futures, knn_futures;
   for (uint32_t q = 0; q < 32; ++q) {
-    range_futures.push_back(router.SubmitRange(/*tenant=*/0, geo_queries, q,
-                                               geo_radius,
-                                               /*deadline_micros=*/5000));
-    knn_futures.push_back(
-        router.SubmitKnn(/*tenant=*/1, color_queries, q, /*k=*/4));
+    range_futures.push_back(router.Submit(
+        serve::Request::Range(geo_queries, q, geo_radius,
+                              /*deadline_micros=*/5000)
+            .ForTenant(0)));
+    knn_futures.push_back(router.Submit(
+        serve::Request::Knn(color_queries, q, /*k=*/4).ForTenant(1)));
   }
-  // Updates route the same way and are never quota-limited.
-  auto inserted = router.SubmitInsert(/*tenant=*/0, geo, 0);
+  // Updates ride the same entry point and are never quota-limited.
+  auto inserted = router.Submit(serve::Request::Insert(geo, 0).ForTenant(0));
 
   uint64_t results = 0;
   for (auto& f : range_futures) {
-    auto res = f.get();
-    if (res.ok()) results += res.value().size();
+    serve::Response res = f.get();
+    if (res.ok()) results += res.range().value().size();
   }
   for (auto& f : knn_futures) {
-    auto res = f.get();
-    if (res.ok()) results += res.value().size();
+    serve::Response res = f.get();
+    if (res.ok()) results += res.knn().value().size();
   }
   if (!inserted.get().ok()) return 1;
   router.Drain();

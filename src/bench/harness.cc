@@ -132,6 +132,14 @@ double ThroughputPerMin(uint32_t batch, double sim_seconds) {
   return static_cast<double>(batch) / sim_seconds * 60.0;
 }
 
+double PercentileOf(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::min(samples.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
 std::string FormatThroughput(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3g", v);

@@ -71,6 +71,12 @@ Measurement MeasureKnn(SimilarityIndex* method, const BenchEnv& env,
 /// queries/min from a batch's simulated seconds.
 double ThroughputPerMin(uint32_t batch, double sim_seconds);
 
+/// Nearest-rank percentile (ceil(q·n), the convention every recorded
+/// series uses) of an UNSORTED sample; 0.0 for an empty one. The one
+/// shared implementation — bench binaries must not grow private copies,
+/// or the checked-in series silently mix rank conventions.
+double PercentileOf(std::vector<double> samples, double q);
+
 /// "x.xxe+yy" or the paper's failure markers: "/" (unsupported / OOM at
 /// build), "DEADLOCK", "OOM".
 std::string FormatThroughput(double v);

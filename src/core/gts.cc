@@ -188,7 +188,7 @@ Status GtsIndex::Remove(uint32_t id) {
 Status GtsIndex::BatchUpdate(const Dataset& inserts,
                              std::span<const uint32_t> removals) {
   std::unique_lock lock(mu_);
-  if (inserts.size() > 0 && !inserts.CompatibleWith(data_)) {
+  if (!inserts.empty() && !inserts.CompatibleWith(data_)) {
     return Status::InvalidArgument("inserted objects incompatible with dataset");
   }
   for (const uint32_t id : removals) {

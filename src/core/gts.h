@@ -116,7 +116,11 @@ class GtsIndex {
                                        std::span<const float> radii,
                                        GtsQueryStats* stats_out = nullptr) const;
 
-  /// Batched metric k-nearest-neighbour query (Algorithm 5). Exact.
+  /// Batched metric k-nearest-neighbour query (Algorithm 5). Exact. Each
+  /// per-query result is ascending by (dist, id) — distance ties break
+  /// toward the smaller object id. The canonical order is part of the
+  /// result contract: it makes per-shard top-k lists of a partitioned
+  /// corpus merge back byte-identically (serve::ShardedFrontend).
   Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
                                    GtsQueryStats* stats_out = nullptr) const;
 
@@ -331,7 +335,7 @@ class GtsIndex {
   /// Per-query running top-k state for MkNNQ (deduplicated by object id so
   /// a pivot later re-seen in a leaf cannot shrink the bound twice).
   struct KnnState {
-    std::vector<Neighbor> topk;  // ascending by dist, size <= k
+    std::vector<Neighbor> topk;  // ascending by (dist, id), size <= k
     uint32_t k = 0;
     float Bound() const {
       return topk.size() < k ? std::numeric_limits<float>::infinity()

@@ -20,13 +20,29 @@ constexpr float kNoParent = std::numeric_limits<float>::quiet_NaN();
 }  // namespace
 
 void GtsIndex::KnnState::Offer(uint32_t id, float dist) {
-  if (topk.size() == k && dist >= topk.back().dist) return;
+  // The running top-k keeps the canonical (dist, id) total order: distance
+  // ties break toward the smaller object id. The order is a result
+  // contract, not a convenience — selection by a total order commutes with
+  // partitioning the candidate set, which is what lets an object-sharded
+  // deployment (serve::ShardedFrontend) merge per-shard top-k lists back
+  // byte-identically to a single-index run even on discrete metrics (edit
+  // distance) where ties are everywhere. The pruning bound (Bound() =
+  // topk.back().dist) is unchanged by the tie order, so traversal, stats,
+  // and modeled time are identical to a tie-agnostic top-k.
+  if (topk.size() == k &&
+      (dist > topk.back().dist ||
+       (dist == topk.back().dist && id >= topk.back().id))) {
+    return;
+  }
   for (const Neighbor& nb : topk) {
     if (nb.id == id) return;  // duplicate sample of the same object
   }
   const auto it = std::lower_bound(
-      topk.begin(), topk.end(), dist,
-      [](const Neighbor& nb, float d) { return nb.dist < d; });
+      topk.begin(), topk.end(), Neighbor{id, dist},
+      [](const Neighbor& a, const Neighbor& b) {
+        if (a.dist != b.dist) return a.dist < b.dist;
+        return a.id < b.id;
+      });
   topk.insert(it, Neighbor{id, dist});
   if (topk.size() > k) topk.pop_back();
 }

@@ -12,7 +12,7 @@ Dataset SampleQueries(const Dataset& data, uint32_t count, uint64_t seed) {
   Dataset queries = data.kind() == DataKind::kFloatVector
                         ? Dataset::FloatVectors(data.dim())
                         : Dataset::Strings();
-  for (uint32_t i = 0; i < count && data.size() > 0; ++i) {
+  for (uint32_t i = 0; i < count && !data.empty(); ++i) {
     queries.AppendFrom(data,
                        static_cast<uint32_t>(rng.UniformU64(data.size())));
   }

@@ -74,8 +74,95 @@ bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
   return !stop_;
 }
 
-void QuerySession::EnqueueRead(PendingRead read, uint64_t deadline_micros,
-                               Clock::time_point submitted_at) {
+std::future<Response> QuerySession::Submit(Request request) {
+  const auto submitted_at = Clock::now();
+  // Translate the typed payload into the internal work-item forms. The
+  // translation is pure (no lock): concurrent submitters only serialize
+  // on the queue push inside SubmitRead/SubmitWrite.
+  return std::visit(
+      [&](auto&& payload) -> std::future<Response> {
+        using P = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<P, RangePayload>) {
+          PendingRead read;
+          read.kind = PendingRead::Kind::kRange;
+          read.query = std::move(payload.query);
+          read.radius = payload.radius;
+          return SubmitRead(std::move(read), request.deadline_micros,
+                            submitted_at);
+        } else if constexpr (std::is_same_v<P, KnnPayload>) {
+          PendingRead read;
+          read.kind = PendingRead::Kind::kKnn;
+          read.query = std::move(payload.query);
+          read.k = payload.k;
+          return SubmitRead(std::move(read), request.deadline_micros,
+                            submitted_at);
+        } else if constexpr (std::is_same_v<P, KnnApproxPayload>) {
+          PendingRead read;
+          read.kind = PendingRead::Kind::kKnn;
+          read.query = std::move(payload.query);
+          read.k = payload.k;
+          read.candidate_fraction = payload.candidate_fraction;
+          return SubmitRead(std::move(read), request.deadline_micros,
+                            submitted_at);
+        } else if constexpr (std::is_same_v<P, InsertPayload>) {
+          PendingWrite write;
+          write.kind = PendingWrite::Kind::kInsert;
+          write.payload = std::move(payload.object);
+          return SubmitWrite(std::move(write));
+        } else if constexpr (std::is_same_v<P, RemovePayload>) {
+          PendingWrite write;
+          write.kind = PendingWrite::Kind::kRemove;
+          write.remove_id = payload.id;
+          return SubmitWrite(std::move(write));
+        } else if constexpr (std::is_same_v<P, BatchUpdatePayload>) {
+          PendingWrite write;
+          write.kind = PendingWrite::Kind::kBatchUpdate;
+          write.payload = std::move(payload.inserts);
+          write.removals = std::move(payload.removals);
+          return SubmitWrite(std::move(write));
+        } else {
+          static_assert(std::is_same_v<P, RebuildPayload>);
+          PendingWrite write;
+          write.kind = PendingWrite::Kind::kRebuild;
+          return SubmitWrite(std::move(write));
+        }
+      },
+      std::move(request.payload));
+}
+
+std::future<Response> QuerySession::SubmitRead(
+    PendingRead read, uint64_t deadline_micros,
+    Clock::time_point submitted_at) {
+  auto future = read.promise.get_future();
+
+  // Validate off-lock (the payload is already a private copy; the index's
+  // kind/dim are immutable). An out-of-range factory index arrives here
+  // as an empty query dataset.
+  const bool valid =
+      read.query.size() == 1 && read.query.CompatibleWith(index_->data()) &&
+      (read.kind != PendingRead::Kind::kKnn ||
+       (read.candidate_fraction > 0.0 && read.candidate_fraction <= 1.0));
+  if (!valid) {
+    const Status invalid =
+        Status::InvalidArgument("query object invalid for this index");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    read.promise.set_value(read.kind == PendingRead::Kind::kRange
+                               ? Response{RangeResult(invalid)}
+                               : Response{KnnResult(invalid)});
+    return future;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!AdmitRead(&lock)) {
+    ++stats_.rejected;
+    const Status full = Status::ResourceExhausted("session read queue full");
+    read.promise.set_value(read.kind == PendingRead::Kind::kRange
+                               ? Response{RangeResult(full)}
+                               : Response{KnnResult(full)});
+    return future;
+  }
+
   read.enqueued_at = submitted_at;
   read.seq = next_seq_++;
   read.has_deadline = deadline_micros > 0;
@@ -91,156 +178,30 @@ void QuerySession::EnqueueRead(PendingRead read, uint64_t deadline_micros,
   reads_.push_back(std::move(read));
   ++stats_.submitted;
   cv_dispatch_.notify_all();
+  return future;
 }
 
-void QuerySession::EnqueueWrite(PendingWrite write) {
+std::future<Response> QuerySession::SubmitWrite(PendingWrite write) {
+  auto future = write.promise.get_future();
+
+  if (write.kind == PendingWrite::Kind::kInsert &&
+      write.payload.size() != 1) {
+    write.promise.set_value(Response{
+        InsertResult(Status::InvalidArgument("insert index out of range"))});
+    return future;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    const Status stopped = Status::ResourceExhausted("session stopped");
+    write.promise.set_value(write.kind == PendingWrite::Kind::kInsert
+                                ? Response{InsertResult(stopped)}
+                                : Response{UpdateResult(stopped)});
+    return future;
+  }
   write.flushes_at_submit = stats_.flushes;
   writes_.push_back(std::move(write));
   cv_dispatch_.notify_all();
-}
-
-std::future<Result<std::vector<uint32_t>>> QuerySession::SubmitRange(
-    const Dataset& src, uint32_t idx, float radius,
-    uint64_t deadline_micros) {
-  const auto submitted_at = Clock::now();
-  PendingRead read;
-  read.kind = PendingRead::Kind::kRange;
-  read.radius = radius;
-  auto future = read.range_promise.get_future();
-
-  // Validate and copy the query off-lock (src is caller-owned; the index's
-  // kind/dim are immutable) so concurrent submitters only serialize on the
-  // queue push.
-  if (idx >= src.size() || !src.CompatibleWith(index_->data())) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
-    read.range_promise.set_value(
-        Status::InvalidArgument("query object invalid for this index"));
-    return future;
-  }
-  const uint32_t ids[] = {idx};
-  read.query = src.Slice(ids);
-
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!AdmitRead(&lock)) {
-    ++stats_.rejected;
-    read.range_promise.set_value(
-        Status::ResourceExhausted("session read queue full"));
-    return future;
-  }
-  EnqueueRead(std::move(read), deadline_micros, submitted_at);
-  return future;
-}
-
-std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnn(
-    const Dataset& src, uint32_t idx, uint32_t k, uint64_t deadline_micros) {
-  return SubmitKnnApprox(src, idx, k, /*candidate_fraction=*/1.0,
-                         deadline_micros);
-}
-
-std::future<Result<std::vector<Neighbor>>> QuerySession::SubmitKnnApprox(
-    const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction,
-    uint64_t deadline_micros) {
-  const auto submitted_at = Clock::now();
-  PendingRead read;
-  read.kind = PendingRead::Kind::kKnn;
-  read.k = k;
-  read.candidate_fraction = candidate_fraction;
-  auto future = read.knn_promise.get_future();
-
-  // See SubmitRange for why validation and the copy happen off-lock.
-  if (idx >= src.size() || !src.CompatibleWith(index_->data()) ||
-      candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
-    read.knn_promise.set_value(
-        Status::InvalidArgument("query object invalid for this index"));
-    return future;
-  }
-  const uint32_t ids[] = {idx};
-  read.query = src.Slice(ids);
-
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!AdmitRead(&lock)) {
-    ++stats_.rejected;
-    read.knn_promise.set_value(
-        Status::ResourceExhausted("session read queue full"));
-    return future;
-  }
-  EnqueueRead(std::move(read), deadline_micros, submitted_at);
-  return future;
-}
-
-std::future<Result<uint32_t>> QuerySession::SubmitInsert(const Dataset& src,
-                                                         uint32_t idx) {
-  PendingWrite write;
-  write.kind = PendingWrite::Kind::kInsert;
-  auto future = write.insert_promise.get_future();
-
-  if (idx >= src.size()) {
-    write.insert_promise.set_value(
-        Status::InvalidArgument("insert index out of range"));
-    return future;
-  }
-  const uint32_t ids[] = {idx};
-  write.payload = src.Slice(ids);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stop_) {
-    write.insert_promise.set_value(
-        Status::ResourceExhausted("session stopped"));
-    return future;
-  }
-  EnqueueWrite(std::move(write));
-  return future;
-}
-
-std::future<Status> QuerySession::SubmitRemove(uint32_t id) {
-  PendingWrite write;
-  write.kind = PendingWrite::Kind::kRemove;
-  write.remove_id = id;
-  auto future = write.status_promise.get_future();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stop_) {
-    write.status_promise.set_value(
-        Status::ResourceExhausted("session stopped"));
-    return future;
-  }
-  EnqueueWrite(std::move(write));
-  return future;
-}
-
-std::future<Status> QuerySession::SubmitBatchUpdate(
-    const Dataset& inserts, std::vector<uint32_t> removals) {
-  PendingWrite write;
-  write.kind = PendingWrite::Kind::kBatchUpdate;
-  write.payload = inserts;
-  write.removals = std::move(removals);
-  auto future = write.status_promise.get_future();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stop_) {
-    write.status_promise.set_value(
-        Status::ResourceExhausted("session stopped"));
-    return future;
-  }
-  EnqueueWrite(std::move(write));
-  return future;
-}
-
-std::future<Status> QuerySession::SubmitRebuild() {
-  PendingWrite write;
-  write.kind = PendingWrite::Kind::kRebuild;
-  auto future = write.status_promise.get_future();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stop_) {
-    write.status_promise.set_value(
-        Status::ResourceExhausted("session stopped"));
-    return future;
-  }
-  EnqueueWrite(std::move(write));
   return future;
 }
 
@@ -361,17 +322,19 @@ void QuerySession::DispatchLoop() {
 void QuerySession::RunWriter(PendingWrite* write) {
   switch (write->kind) {
     case PendingWrite::Kind::kInsert:
-      write->insert_promise.set_value(index_->Insert(write->payload, 0));
+      write->promise.set_value(
+          Response{InsertResult(index_->Insert(write->payload, 0))});
       break;
     case PendingWrite::Kind::kRemove:
-      write->status_promise.set_value(index_->Remove(write->remove_id));
+      write->promise.set_value(
+          Response{UpdateResult(index_->Remove(write->remove_id))});
       break;
     case PendingWrite::Kind::kBatchUpdate:
-      write->status_promise.set_value(
-          index_->BatchUpdate(write->payload, write->removals));
+      write->promise.set_value(Response{
+          UpdateResult(index_->BatchUpdate(write->payload, write->removals))});
       break;
     case PendingWrite::Kind::kRebuild:
-      write->status_promise.set_value(index_->Rebuild());
+      write->promise.set_value(Response{UpdateResult(index_->Rebuild())});
       break;
   }
 }
@@ -445,10 +408,10 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
         for (uint32_t i = task.begin; i < task.end; ++i) {
           PendingRead& item = (*batch)[(*task.items)[i]];
           if (res.ok()) {
-            item.range_promise.set_value(
-                std::move(res.value()[i - task.begin]));
+            item.promise.set_value(Response{
+                RangeResult(std::move(res.value()[i - task.begin]))});
           } else {
-            item.range_promise.set_value(res.status());
+            item.promise.set_value(Response{RangeResult(res.status())});
           }
         }
       } else {
@@ -459,9 +422,10 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
         for (uint32_t i = task.begin; i < task.end; ++i) {
           PendingRead& item = (*batch)[(*task.items)[i]];
           if (res.ok()) {
-            item.knn_promise.set_value(std::move(res.value()[i - task.begin]));
+            item.promise.set_value(
+                Response{KnnResult(std::move(res.value()[i - task.begin]))});
           } else {
-            item.knn_promise.set_value(res.status());
+            item.promise.set_value(Response{KnnResult(res.status())});
           }
         }
       }

@@ -1,6 +1,7 @@
 // Streaming query submission with admission control — the serving front
 // door on top of GtsIndex + QueryExecutor. Callers submit *individual*
-// range/kNN queries (and update work items) and receive futures; an
+// typed requests (serve::Request: range/kNN reads and update work items)
+// through the unified Submit(Request) entry point and receive futures; an
 // internal dynamic batcher coalesces queued queries into batches — GTS
 // gets its throughput from batched level-synchronous search, so
 // independently-arriving queries must be re-batched to keep the device
@@ -53,10 +54,12 @@
 #include <mutex>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/gts.h"
 #include "serve/query_executor.h"
+#include "serve/request.h"
 
 namespace gts::serve {
 
@@ -153,42 +156,61 @@ class QuerySession {
   QuerySession(const QuerySession&) = delete;
   QuerySession& operator=(const QuerySession&) = delete;
 
-  // --- Read submissions (admission-controlled, dynamically batched) -----
-  // The query is object `idx` of `src` and is copied out, so `src` may be
-  // destroyed as soon as the call returns. Invalid submissions (index out
-  // of range, incompatible kind/dim) resolve immediately with
-  // kInvalidArgument; queue overflow per the admission policy.
-  // `deadline_micros` (0 = no deadline) asks for resolution within that
+  // --- The unified entry point ------------------------------------------
+  // One method serves all seven operations (serve/request.h). Reads
+  // (Range/Knn/KnnApprox) are admission-controlled and dynamically
+  // batched; an invalid payload (empty/multi-object query, incompatible
+  // kind/dim, bad candidate fraction) resolves immediately with
+  // kInvalidArgument and queue overflow per the admission policy.
+  // `request.deadline_micros` (0 = none) asks for resolution within that
   // many microseconds of submission: under FlushOrder::kEdf urgent reads
   // jump the queue, and a read resolved late counts in
-  // SessionStats::deadline_missed (it is not cancelled).
+  // SessionStats::deadline_missed (it is not cancelled). Updates
+  // (Insert/Remove/BatchUpdate/Rebuild) are never rejected; the
+  // dispatcher applies them between read flush cycles, in submission
+  // order, bounded by the writer-fairness gate. `request.tenant` is
+  // ignored — a session serves one index.
 
-  /// Submits one metric range query (radius `radius` around the object).
+  std::future<Response> Submit(Request request);
+
+  // --- Legacy typed entry points ----------------------------------------
+  // One-line compat wrappers over Submit(Request): they build the Request
+  // and unwrap the Response alternative (deferred — see ExpectResult).
+  // New callers should construct Requests directly.
+
   std::future<Result<std::vector<uint32_t>>> SubmitRange(
       const Dataset& src, uint32_t idx, float radius,
-      uint64_t deadline_micros = 0);
-  /// Submits one exact kNN query.
+      uint64_t deadline_micros = 0) {
+    return ExpectResult<RangeResult>(
+        Submit(Request::Range(src, idx, radius, deadline_micros)));
+  }
   std::future<Result<std::vector<Neighbor>>> SubmitKnn(
       const Dataset& src, uint32_t idx, uint32_t k,
-      uint64_t deadline_micros = 0);
-  /// Submits one approximate kNN query (GtsIndex::KnnQueryBatchApprox).
+      uint64_t deadline_micros = 0) {
+    return ExpectResult<KnnResult>(
+        Submit(Request::Knn(src, idx, k, deadline_micros)));
+  }
   std::future<Result<std::vector<Neighbor>>> SubmitKnnApprox(
       const Dataset& src, uint32_t idx, uint32_t k, double candidate_fraction,
-      uint64_t deadline_micros = 0);
-
-  // --- Update submissions (never rejected, writer-fairness gated) -------
-  // Applied by the dispatcher between read flush cycles, in submission
-  // order, each through the index's own exclusive-writer strategy.
-
-  /// Submits a streaming insert of object `idx` of `src`.
-  std::future<Result<uint32_t>> SubmitInsert(const Dataset& src, uint32_t idx);
-  /// Submits a streaming delete of object `id`.
-  std::future<Status> SubmitRemove(uint32_t id);
-  /// Submits a batch update (all removals + inserts, then reconstruction).
+      uint64_t deadline_micros = 0) {
+    return ExpectResult<KnnResult>(Submit(Request::KnnApprox(
+        src, idx, k, candidate_fraction, deadline_micros)));
+  }
+  std::future<Result<uint32_t>> SubmitInsert(const Dataset& src,
+                                             uint32_t idx) {
+    return ExpectResult<InsertResult>(Submit(Request::Insert(src, idx)));
+  }
+  std::future<Status> SubmitRemove(uint32_t id) {
+    return ExpectResult<UpdateResult>(Submit(Request::Remove(id)));
+  }
   std::future<Status> SubmitBatchUpdate(const Dataset& inserts,
-                                        std::vector<uint32_t> removals);
-  /// Submits a full reconstruction over the alive objects.
-  std::future<Status> SubmitRebuild();
+                                        std::vector<uint32_t> removals) {
+    return ExpectResult<UpdateResult>(
+        Submit(Request::BatchUpdate(inserts, std::move(removals))));
+  }
+  std::future<Status> SubmitRebuild() {
+    return ExpectResult<UpdateResult>(Submit(Request::Rebuild()));
+  }
 
   /// Nudges the batcher: everything queued right now flushes without
   /// waiting for max_batch / max_wait_micros.
@@ -222,8 +244,7 @@ class QuerySession {
     /// EDF key: the explicit deadline, or arrival + no_deadline_slack.
     Clock::time_point deadline;
     Clock::time_point enqueued_at;
-    std::promise<Result<std::vector<uint32_t>>> range_promise;
-    std::promise<Result<std::vector<Neighbor>>> knn_promise;
+    std::promise<Response> promise;
   };
 
   struct PendingWrite {
@@ -234,20 +255,24 @@ class QuerySession {
     std::vector<uint32_t> removals;
     uint32_t remove_id = 0;
     uint64_t flushes_at_submit = 0;
-    std::promise<Result<uint32_t>> insert_promise;
-    std::promise<Status> status_promise;
+    std::promise<Response> promise;
   };
+
+  /// Read-path body of Submit: validates the single-object query,
+  /// admission-checks, enqueues. `submitted_at` anchors the deadline and
+  /// the latency sample at *submission*: under AdmissionPolicy::kBlock
+  /// the admission wait is part of what the caller experiences, so it
+  /// counts.
+  std::future<Response> SubmitRead(PendingRead read, uint64_t deadline_micros,
+                                   Clock::time_point submitted_at);
+  /// Update-path body of Submit: enqueues for the dispatcher (never
+  /// rejected while running).
+  std::future<Response> SubmitWrite(PendingWrite write);
 
   /// True when the read queue has admission room, waiting (kBlock) until
   /// it does; false when the submission must be rejected (kReject or
   /// stopping). Called with `lock` held.
   bool AdmitRead(std::unique_lock<std::mutex>* lock);
-  /// `submitted_at` anchors the deadline and the latency sample at
-  /// *submission*: under AdmissionPolicy::kBlock the admission wait is
-  /// part of what the caller experiences, so it counts.
-  void EnqueueRead(PendingRead read, uint64_t deadline_micros,
-                   Clock::time_point submitted_at);
-  void EnqueueWrite(PendingWrite write);
 
   void DispatchLoop();
   /// Runs one coalesced flush cycle; called off-lock on the dispatcher.

@@ -4,19 +4,6 @@
 
 namespace gts::serve {
 
-namespace {
-
-/// A future already resolved with `status` — the router's immediate-reject
-/// path (unknown tenant, quota exceeded).
-template <typename T>
-std::future<T> Resolved(T value) {
-  std::promise<T> promise;
-  promise.set_value(std::move(value));
-  return promise.get_future();
-}
-
-}  // namespace
-
 SessionRouter::SessionRouter(std::vector<GtsIndex*> tenants,
                              RouterOptions options)
     : options_(options) {
@@ -44,77 +31,21 @@ bool SessionRouter::OverQuota(const Tenant& tenant) const {
   return tenant.session->inflight_reads() >= options_.max_inflight_per_tenant;
 }
 
-std::future<Result<std::vector<uint32_t>>> SessionRouter::SubmitRange(
-    uint32_t tenant, const Dataset& src, uint32_t idx, float radius,
-    uint64_t deadline_micros) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Result<std::vector<uint32_t>>>(
-        Status::InvalidArgument("unknown tenant id"));
+std::future<Response> SessionRouter::Submit(Request request) {
+  if (request.tenant >= tenants_.size()) {
+    return ResolvedFuture(
+        ErrorResponse(request, Status::InvalidArgument("unknown tenant id")));
   }
-  Tenant& t = *tenants_[tenant];
-  if (OverQuota(t)) {
+  Tenant& t = *tenants_[request.tenant];
+  // Updates are never quota-limited; only reads occupy the shared pool
+  // long enough for a share bound to mean anything.
+  if (request.is_read() && OverQuota(t)) {
     t.quota_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Resolved<Result<std::vector<uint32_t>>>(
-        Status::ResourceExhausted("tenant inflight quota exceeded"));
+    return ResolvedFuture(ErrorResponse(
+        request,
+        Status::ResourceExhausted("tenant inflight quota exceeded")));
   }
-  return t.session->SubmitRange(src, idx, radius, deadline_micros);
-}
-
-std::future<Result<std::vector<Neighbor>>> SessionRouter::SubmitKnn(
-    uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
-    uint64_t deadline_micros) {
-  return SubmitKnnApprox(tenant, src, idx, k, /*candidate_fraction=*/1.0,
-                         deadline_micros);
-}
-
-std::future<Result<std::vector<Neighbor>>> SessionRouter::SubmitKnnApprox(
-    uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
-    double candidate_fraction, uint64_t deadline_micros) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Result<std::vector<Neighbor>>>(
-        Status::InvalidArgument("unknown tenant id"));
-  }
-  Tenant& t = *tenants_[tenant];
-  if (OverQuota(t)) {
-    t.quota_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Resolved<Result<std::vector<Neighbor>>>(
-        Status::ResourceExhausted("tenant inflight quota exceeded"));
-  }
-  return t.session->SubmitKnnApprox(src, idx, k, candidate_fraction,
-                                    deadline_micros);
-}
-
-std::future<Result<uint32_t>> SessionRouter::SubmitInsert(uint32_t tenant,
-                                                          const Dataset& src,
-                                                          uint32_t idx) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Result<uint32_t>>(
-        Status::InvalidArgument("unknown tenant id"));
-  }
-  return tenants_[tenant]->session->SubmitInsert(src, idx);
-}
-
-std::future<Status> SessionRouter::SubmitRemove(uint32_t tenant, uint32_t id) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
-  }
-  return tenants_[tenant]->session->SubmitRemove(id);
-}
-
-std::future<Status> SessionRouter::SubmitBatchUpdate(
-    uint32_t tenant, const Dataset& inserts, std::vector<uint32_t> removals) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
-  }
-  return tenants_[tenant]->session->SubmitBatchUpdate(inserts,
-                                                      std::move(removals));
-}
-
-std::future<Status> SessionRouter::SubmitRebuild(uint32_t tenant) {
-  if (tenant >= tenants_.size()) {
-    return Resolved<Status>(Status::InvalidArgument("unknown tenant id"));
-  }
-  return tenants_[tenant]->session->SubmitRebuild();
+  return t.session->Submit(std::move(request));
 }
 
 void SessionRouter::Flush() {

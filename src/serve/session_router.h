@@ -3,7 +3,10 @@
 // (private bounded queue, private batcher, private deadline accounting);
 // every tenant's flush cycles fan out over ONE shared pool-only
 // QueryExecutor, so the worker budget is fixed no matter how many tenants
-// are mounted. Routing is explicit: every submission names its tenant id.
+// are mounted. Routing is explicit: every serve::Request names its tenant
+// id (Request::ForTenant), and one Submit(Request) entry point serves all
+// seven operations; hash-routed sharding lives one layer up in
+// serve::ShardedFrontend.
 //
 // Two isolation mechanisms stack on top of the per-session admission
 // control:
@@ -42,6 +45,7 @@
 #include "core/gts.h"
 #include "serve/query_executor.h"
 #include "serve/query_session.h"
+#include "serve/request.h"
 
 namespace gts::serve {
 
@@ -111,38 +115,60 @@ class SessionRouter {
     return static_cast<uint32_t>(tenants_.size());
   }
 
-  // --- Read submissions ------------------------------------------------
-  // Routed to tenant `tenant`'s session. An unknown tenant id resolves
-  // immediately with kInvalidArgument; a tenant over its inflight quota
-  // resolves with kResourceExhausted. `deadline_micros` (0 = none) is the
-  // EDF scheduling target, per query_session.h.
+  // --- The unified entry point ------------------------------------------
+  // Routes `request` to tenant `request.tenant`'s session (see
+  // Request::ForTenant). An unknown tenant id resolves immediately with
+  // kInvalidArgument; a READ for a tenant over its inflight quota
+  // resolves with kResourceExhausted (updates are never quota-limited).
+  // `request.deadline_micros` (0 = none) is the EDF scheduling target,
+  // per query_session.h.
 
-  /// Routes one metric range query to `tenant`.
+  std::future<Response> Submit(Request request);
+
+  // --- Legacy typed entry points ----------------------------------------
+  // One-line compat wrappers over Submit(Request); new callers should
+  // construct Requests directly.
+
   std::future<Result<std::vector<uint32_t>>> SubmitRange(
       uint32_t tenant, const Dataset& src, uint32_t idx, float radius,
-      uint64_t deadline_micros = 0);
-  /// Routes one exact kNN query to `tenant`.
+      uint64_t deadline_micros = 0) {
+    return ExpectResult<RangeResult>(Submit(
+        Request::Range(src, idx, radius, deadline_micros).ForTenant(tenant)));
+  }
   std::future<Result<std::vector<Neighbor>>> SubmitKnn(
       uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
-      uint64_t deadline_micros = 0);
-  /// Routes one approximate kNN query to `tenant`.
+      uint64_t deadline_micros = 0) {
+    return ExpectResult<KnnResult>(Submit(
+        Request::Knn(src, idx, k, deadline_micros).ForTenant(tenant)));
+  }
   std::future<Result<std::vector<Neighbor>>> SubmitKnnApprox(
       uint32_t tenant, const Dataset& src, uint32_t idx, uint32_t k,
-      double candidate_fraction, uint64_t deadline_micros = 0);
-
-  // --- Update submissions (never quota-limited, never rejected) --------
-
-  /// Routes a streaming insert to `tenant`.
+      double candidate_fraction, uint64_t deadline_micros = 0) {
+    return ExpectResult<KnnResult>(
+        Submit(Request::KnnApprox(src, idx, k, candidate_fraction,
+                                  deadline_micros)
+                   .ForTenant(tenant)));
+  }
   std::future<Result<uint32_t>> SubmitInsert(uint32_t tenant,
-                                             const Dataset& src, uint32_t idx);
-  /// Routes a streaming delete to `tenant`.
-  std::future<Status> SubmitRemove(uint32_t tenant, uint32_t id);
-  /// Routes a batch update to `tenant`.
+                                             const Dataset& src,
+                                             uint32_t idx) {
+    return ExpectResult<InsertResult>(
+        Submit(Request::Insert(src, idx).ForTenant(tenant)));
+  }
+  std::future<Status> SubmitRemove(uint32_t tenant, uint32_t id) {
+    return ExpectResult<UpdateResult>(
+        Submit(Request::Remove(id).ForTenant(tenant)));
+  }
   std::future<Status> SubmitBatchUpdate(uint32_t tenant,
                                         const Dataset& inserts,
-                                        std::vector<uint32_t> removals);
-  /// Routes a full rebuild to `tenant`.
-  std::future<Status> SubmitRebuild(uint32_t tenant);
+                                        std::vector<uint32_t> removals) {
+    return ExpectResult<UpdateResult>(Submit(
+        Request::BatchUpdate(inserts, std::move(removals)).ForTenant(tenant)));
+  }
+  std::future<Status> SubmitRebuild(uint32_t tenant) {
+    return ExpectResult<UpdateResult>(
+        Submit(Request::Rebuild().ForTenant(tenant)));
+  }
 
   /// Nudges every tenant's batcher (QuerySession::Flush).
   void Flush();

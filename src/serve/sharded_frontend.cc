@@ -1,0 +1,247 @@
+#include "serve/sharded_frontend.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+#include <variant>
+
+namespace gts::serve {
+
+namespace {
+
+/// FNV-1a over a byte range — stable across processes and platforms, so
+/// insert routing is reproducible (unlike std::hash, which libstdc++ may
+/// seed differently).
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedFrontend::ShardedFrontend(std::vector<GtsIndex*> shards,
+                                 FrontendOptions options)
+    : options_(options) {
+  // One pool-only executor shared by every shard session, exactly like
+  // SessionRouter: the worker budget is fixed no matter the shard count.
+  executor_ = std::make_unique<QueryExecutor>(
+      nullptr, ExecutorOptions{options_.executor_threads, 0});
+  sessions_.reserve(shards.size());
+  for (GtsIndex* index : shards) {
+    sessions_.push_back(std::make_unique<QuerySession>(index, executor_.get(),
+                                                       options_.session));
+  }
+}
+
+ShardedFrontend::~ShardedFrontend() {
+  // Session destructors drain; explicit reset before the executor dies.
+  sessions_.clear();
+}
+
+uint32_t ShardedFrontend::ShardForObject(const Dataset& src,
+                                         uint32_t idx) const {
+  uint64_t h = 1469598103934665603ull;
+  if (src.kind() == DataKind::kFloatVector) {
+    const auto v = src.Vector(idx);
+    h = Fnv1a(h, v.data(), v.size_bytes());
+  } else {
+    const auto s = src.String(idx);
+    h = Fnv1a(h, s.data(), s.size());
+  }
+  return static_cast<uint32_t>(h % num_shards());
+}
+
+template <typename Payload>
+std::vector<std::future<Response>> ShardedFrontend::Scatter(
+    const Payload& payload, uint64_t deadline_micros) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(sessions_.size());
+  for (auto& session : sessions_) {
+    Request sub;
+    sub.deadline_micros = deadline_micros;
+    sub.payload = payload;  // per-shard copy of the one-object query
+    futures.push_back(session->Submit(std::move(sub)));
+  }
+  return futures;
+}
+
+std::future<Response> ShardedFrontend::GatherStatus(
+    std::vector<std::future<Response>> futures) {
+  return std::async(
+      std::launch::deferred, [futures = std::move(futures)]() mutable {
+        Status first_bad = Status::Ok();
+        for (auto& f : futures) {
+          const Status s = f.get().update();
+          if (!s.ok() && first_bad.ok()) first_bad = s;
+        }
+        return Response{UpdateResult(std::move(first_bad))};
+      });
+}
+
+std::future<Response> ShardedFrontend::Submit(Request request) {
+  if (sessions_.empty()) {
+    return ResolvedFuture(ErrorResponse(
+        request, Status::InvalidArgument("frontend has no shards")));
+  }
+  const uint32_t n = num_shards();
+
+  // --- Reads: scatter to every shard, gather + merge lazily -------------
+  if (const auto* range = std::get_if<RangePayload>(&request.payload)) {
+    auto futures = Scatter(*range, request.deadline_micros);
+    return std::async(
+        std::launch::deferred,
+        [n, futures = std::move(futures)]() mutable -> Response {
+          // Union of per-shard hits, remapped to global ids and sorted
+          // ascending — the canonical range order (search_range.cc sorts
+          // each per-query result), so the merge is byte-identical to a
+          // single-index run on a round-robin partition.
+          std::vector<uint32_t> merged;
+          Status first_bad = Status::Ok();
+          for (uint32_t s = 0; s < n; ++s) {
+            Response r = futures[s].get();
+            RangeResult res = std::move(r.range());
+            if (!res.ok()) {
+              if (first_bad.ok()) first_bad = res.status();
+              continue;
+            }
+            for (const uint32_t local : res.value()) {
+              merged.push_back(local * n + s);  // GlobalId(s, local)
+            }
+          }
+          if (!first_bad.ok()) return Response{RangeResult(first_bad)};
+          std::sort(merged.begin(), merged.end());
+          return Response{RangeResult(std::move(merged))};
+        });
+  }
+  const auto* knn = std::get_if<KnnPayload>(&request.payload);
+  const auto* knn_approx = std::get_if<KnnApproxPayload>(&request.payload);
+  if (knn != nullptr || knn_approx != nullptr) {
+    const uint32_t k = knn != nullptr ? knn->k : knn_approx->k;
+    auto futures = knn != nullptr
+                       ? Scatter(*knn, request.deadline_micros)
+                       : Scatter(*knn_approx, request.deadline_micros);
+    return std::async(
+        std::launch::deferred,
+        [n, k, futures = std::move(futures)]() mutable -> Response {
+          // Each shard returns its top-k in the canonical (dist, id)
+          // order; selection by a total order commutes with partitioning,
+          // so re-sorting the union under the same order and truncating
+          // to k reproduces the single-index answer exactly.
+          std::vector<Neighbor> merged;
+          Status first_bad = Status::Ok();
+          for (uint32_t s = 0; s < n; ++s) {
+            Response r = futures[s].get();
+            KnnResult res = std::move(r.knn());
+            if (!res.ok()) {
+              if (first_bad.ok()) first_bad = res.status();
+              continue;
+            }
+            for (const Neighbor& nb : res.value()) {
+              merged.push_back(Neighbor{nb.id * n + s, nb.dist});
+            }
+          }
+          if (!first_bad.ok()) return Response{KnnResult(first_bad)};
+          std::sort(merged.begin(), merged.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.dist != b.dist) return a.dist < b.dist;
+                      return a.id < b.id;
+                    });
+          if (merged.size() > k) merged.resize(k);
+          return Response{KnnResult(std::move(merged))};
+        });
+  }
+
+  // --- Updates: route to one shard (Rebuild: all) -----------------------
+  if (const auto* insert = std::get_if<InsertPayload>(&request.payload)) {
+    if (insert->object.size() != 1) {
+      return ResolvedFuture(ErrorResponse(
+          request, Status::InvalidArgument("insert object invalid")));
+    }
+    const uint32_t shard = ShardForObject(insert->object, 0);
+    auto future = sessions_[shard]->Submit(std::move(request));
+    return std::async(
+        std::launch::deferred,
+        [n, shard, future = std::move(future)]() mutable -> Response {
+          InsertResult res = std::move(future.get().inserted());
+          if (!res.ok()) return Response{InsertResult(res.status())};
+          return Response{InsertResult(res.value() * n + shard)};
+        });
+  }
+  if (auto* remove = std::get_if<RemovePayload>(&request.payload)) {
+    // Pure id routing: shard and local id are both recoverable from the
+    // global id, so the shard session's response passes through as-is.
+    const uint32_t shard = ShardOfId(remove->id);
+    remove->id = LocalId(remove->id);
+    return sessions_[shard]->Submit(std::move(request));
+  }
+  if (const auto* batch = std::get_if<BatchUpdatePayload>(&request.payload)) {
+    // Pre-validate the inserts against every shard BEFORE scattering: a
+    // single index rejects an incompatible batch before mutating
+    // anything (the compat check is GtsIndex::BatchUpdate's only
+    // pre-mutation validation), and the scatter must not let some
+    // shards apply their sub-updates while another shard rejects.
+    // Mid-update failures (a shard's memory budget, say) remain
+    // per-shard — sharded atomicity without a 2PC is best-effort, and
+    // the header says so.
+    for (const auto& session : sessions_) {
+      if (!batch->inserts.empty() &&
+          !batch->inserts.CompatibleWith(session->index()->data())) {
+        return ResolvedFuture(ErrorResponse(
+            request, Status::InvalidArgument(
+                         "inserted objects incompatible with dataset")));
+      }
+    }
+    // Partition removals by id route and inserts by content hash, then
+    // fan one BatchUpdate per shard — every shard reconstructs, matching
+    // the single-index semantics (BatchUpdate always rebuilds).
+    std::vector<std::vector<uint32_t>> removals(n);
+    for (const uint32_t id : batch->removals) {
+      removals[ShardOfId(id)].push_back(LocalId(id));
+    }
+    std::vector<std::vector<uint32_t>> insert_ids(n);
+    for (uint32_t i = 0; i < batch->inserts.size(); ++i) {
+      insert_ids[ShardForObject(batch->inserts, i)].push_back(i);
+    }
+    std::vector<std::future<Response>> futures;
+    futures.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      Request sub;
+      sub.payload = BatchUpdatePayload{batch->inserts.Slice(insert_ids[s]),
+                                       std::move(removals[s])};
+      futures.push_back(sessions_[s]->Submit(std::move(sub)));
+    }
+    return GatherStatus(std::move(futures));
+  }
+  // Rebuild: every shard reconstructs.
+  return GatherStatus(Scatter(RebuildPayload{}, 0));
+}
+
+void ShardedFrontend::Flush() {
+  for (auto& session : sessions_) session->Flush();
+}
+
+void ShardedFrontend::Drain() {
+  for (auto& session : sessions_) session->Drain();
+}
+
+FrontendStats ShardedFrontend::stats() const {
+  FrontendStats out;
+  out.shards.reserve(sessions_.size());
+  for (const auto& session : sessions_) {
+    const SessionStats s = session->stats();
+    out.submitted += s.submitted;
+    out.rejected += s.rejected;
+    out.completed += s.completed;
+    out.writer_ops += s.writer_ops;
+    out.deadline_missed += s.deadline_missed;
+    out.shards.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace gts::serve

@@ -1,0 +1,169 @@
+// Hash-routed sharded serving — one corpus partitioned over N GtsIndex
+// shards behind the SAME unified entry point every other front end has:
+// Submit(serve::Request) -> std::future<serve::Response>. This is the
+// ROADMAP's "hash/consistent routing for shard-per-tenant corpora" step,
+// built the way Faiss-style multi-GPU serving composes (IndexShards):
+// updates route to exactly one shard, reads scatter to every shard and
+// gather through a deterministic merge.
+//
+//  - Updates (Insert/Remove/BatchUpdate): an insert routes by a stable
+//    content hash of the object bytes (ShardForObject); a removal routes
+//    by its id (the shard is recoverable from the global id, see below).
+//    Rebuild fans out to every shard. A BatchUpdate's inserts are
+//    compatibility-checked against every shard BEFORE any sub-update is
+//    scattered, so a payload a single index would reject pre-mutation is
+//    rejected here with no state change either; a shard failing MID
+//    update (e.g. its memory budget) does not roll back its siblings —
+//    cross-shard atomicity without a commit protocol is best-effort.
+//  - Reads (Range/Knn/KnnApprox): scatter/gather. The query fans out to
+//    every shard's QuerySession (each with its own dynamic batcher and
+//    admission bound, all flushing onto ONE shared pool-only
+//    QueryExecutor), and the per-shard answers merge in the canonical
+//    result order — ascending id for range, ascending (dist, id) for kNN,
+//    the same total order GtsIndex::KnnQueryBatch maintains internally.
+//    Selection by a total order commutes with partitioning, so on a
+//    round-robin partition the merged result is byte-identical to a
+//    single index over the whole corpus (enforced by
+//    tests/serve_sharded_test.cc). Approximate kNN scatters too, but its
+//    per-shard candidate budget makes the sharded answer a (deterministic)
+//    different approximation than a single-index run — only exact reads
+//    carry the byte-identity guarantee.
+//
+// Global id mapping. Shard-local object ids interleave into one global id
+// space: global = local * N + shard (N = num_shards). Build the shards as
+// a round-robin partition — object g of the corpus on shard g % N, i.e.
+// shards[s] holds objects s, s+N, s+2N, ... in order — and global ids
+// coincide with the unsharded corpus ids; routed inserts keep the mapping
+// consistent (a new local id l on shard s becomes global l*N + s).
+//
+// The gather side of a read resolves lazily: the returned future is
+// deferred, and get()/wait() performs the per-shard gathers and the
+// merge on the calling thread. The per-shard work itself is driven by the
+// shard sessions regardless; only the merge waits for the caller.
+// (Deferred futures report std::future_status::deferred from
+// wait_for/wait_until and never turn ready — use get()/wait(), not
+// readiness polling.) The frontend must outlive every returned future's
+// consumption.
+//
+// Thread-safety: Submit may be called from any number of threads. The
+// shard indexes must outlive the frontend; destroying the frontend drains
+// every shard session.
+#ifndef GTS_SERVE_SHARDED_FRONTEND_H_
+#define GTS_SERVE_SHARDED_FRONTEND_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/gts.h"
+#include "serve/query_executor.h"
+#include "serve/query_session.h"
+#include "serve/request.h"
+
+namespace gts::serve {
+
+struct FrontendOptions {
+  /// Per-shard batcher/admission configuration; every shard's
+  /// QuerySession is constructed from this one template. Note the
+  /// admission bound is per shard: a scatter read occupies one queue slot
+  /// on EVERY shard.
+  SessionOptions session;
+  /// Worker threads of the shared pool all shard flushes run on.
+  /// 0 = std::thread::hardware_concurrency() (at least 1).
+  uint32_t executor_threads = 4;
+};
+
+/// Whole-frontend counters: per-shard session stats plus sums. A scatter
+/// read counts once per shard in `submitted`/`completed` (N shards = N
+/// per-shard reads); routed updates count once, on their home shard.
+struct FrontendStats {
+  std::vector<SessionStats> shards;
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t writer_ops = 0;
+  uint64_t deadline_missed = 0;
+};
+
+/// The sharded front door. See the file comment.
+class ShardedFrontend {
+ public:
+  /// `shards[s]` becomes shard id `s`; every index must outlive the
+  /// frontend. At least one shard is required. For the global-id mapping
+  /// to reproduce corpus ids, build the shards as the round-robin
+  /// partition described in the file comment.
+  explicit ShardedFrontend(std::vector<GtsIndex*> shards,
+                           FrontendOptions options = {});
+  /// Drains every shard session, then stops the shared pool.
+  ~ShardedFrontend();
+  ShardedFrontend(const ShardedFrontend&) = delete;
+  ShardedFrontend& operator=(const ShardedFrontend&) = delete;
+
+  /// The unified entry point: routes updates, scatters/gathers reads.
+  /// `request.tenant` is ignored — routing is by hash and id, not caller
+  /// choice. Read responses use frontend-global ids.
+  std::future<Response> Submit(Request request);
+
+  /// Nudges every shard's batcher (QuerySession::Flush).
+  void Flush();
+  /// Blocks until every submission made before the call has completed,
+  /// across all shards. Deferred read futures may still await their
+  /// caller's get(); the underlying per-shard answers are resolved.
+  void Drain();
+
+  /// Whole-frontend counters snapshot (one session lock per shard; not a
+  /// single atomic cut across shards).
+  FrontendStats stats() const;
+
+  /// Mounted shards.
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(sessions_.size());
+  }
+  /// Direct access to one shard's session (tests, single-shard flushes);
+  /// null for an unknown shard id. Owned by the frontend.
+  QuerySession* session(uint32_t shard) {
+    if (shard >= sessions_.size()) return nullptr;
+    return sessions_[shard].get();
+  }
+
+  // --- Global id mapping (see the file comment) -------------------------
+
+  /// The global id of shard-local object `local` on `shard`.
+  uint32_t GlobalId(uint32_t shard, uint32_t local) const {
+    return local * num_shards() + shard;
+  }
+  /// The shard a global id lives on.
+  uint32_t ShardOfId(uint32_t global_id) const {
+    return global_id % num_shards();
+  }
+  /// The shard-local id of a global id.
+  uint32_t LocalId(uint32_t global_id) const {
+    return global_id / num_shards();
+  }
+  /// The shard an insert of object `idx` of `src` routes to: a stable
+  /// FNV-1a hash of the object bytes, independent of submission order and
+  /// of the process. Exposed so callers (and tests) can predict routing.
+  uint32_t ShardForObject(const Dataset& src, uint32_t idx) const;
+
+ private:
+  /// Fans a copy of `payload` (+ deadline envelope) out to every shard
+  /// session, in shard order.
+  template <typename Payload>
+  std::vector<std::future<Response>> Scatter(const Payload& payload,
+                                             uint64_t deadline_micros);
+  /// Deferred gather of per-shard update statuses: Ok iff every shard
+  /// succeeded, else the first failing shard's status (by shard order).
+  static std::future<Response> GatherStatus(
+      std::vector<std::future<Response>> futures);
+
+  FrontendOptions options_;
+  /// Declared before the sessions so sessions (whose flushes use the
+  /// pool) are destroyed first.
+  std::unique_ptr<QueryExecutor> executor_;
+  std::vector<std::unique_ptr<QuerySession>> sessions_;
+};
+
+}  // namespace gts::serve
+
+#endif  // GTS_SERVE_SHARDED_FRONTEND_H_
