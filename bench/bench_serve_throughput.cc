@@ -43,6 +43,15 @@
 // byte-identical to a single index (tests/serve_sharded_test.cc), so this
 // phase measures pure serving-plane cost/scaling; host-dependent,
 // warn-only like the other serve phases.
+//
+// `--mvcc` runs the rebuild-storm phase on T-Loc: reader threads repeat
+// range batches directly against the index while a writer thread loops
+// full Rebuilds back-to-back. Because reads pin an epoch-protected
+// version and never take a lock, the reader tail must stay flat: the
+// acceptance target is storm p95 within 2x of the no-writer baseline.
+// Recorded as `gts-serve-mvcc/...` series: the no-writer baseline, the
+// same load under the storm, and their p95 ratio (in the latency fields,
+// so growth warns). Pure wall-clock and host-dependent; warn-only.
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
@@ -775,22 +784,137 @@ void RunShardedPhase(const bench::BenchEnv& env) {
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// MVCC (rebuild-storm) phase.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kMvccReaders = 4;
+constexpr int kMvccRepsPerReader = 30;
+constexpr uint32_t kMvccBatch = 128;
+
+struct MvccResult {
+  double p50_ms = 0.0;   ///< wall per-batch reader latency
+  double p95_ms = 0.0;
+  double wall_qpm = 0.0;  ///< completed reads / total wall time
+  uint64_t rebuilds = 0;  ///< writer loop iterations (storm runs only)
+};
+
+/// Readers hammer RangeQueryBatch; with `storm`, one writer thread loops
+/// full Rebuilds for the whole run. Reader latency is per-batch wall time.
+MvccResult RunMvccLoad(GtsIndex* index, const Dataset& queries,
+                       const std::vector<float>& radii, bool storm) {
+  MvccResult r;
+  std::mutex mu;
+  std::vector<double> rep_ms;
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (storm) {
+    writer = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (index->Rebuild().ok()) ++r.rebuilds;
+      }
+    });
+  }
+  WallTimer total;
+  std::vector<std::thread> readers;
+  readers.reserve(kMvccReaders);
+  for (uint32_t t = 0; t < kMvccReaders; ++t) {
+    readers.emplace_back([&] {
+      std::vector<double> local;
+      local.reserve(kMvccRepsPerReader);
+      for (int rep = 0; rep < kMvccRepsPerReader; ++rep) {
+        WallTimer timer;
+        (void)index->RangeQueryBatch(queries, radii);
+        local.push_back(timer.ElapsedSeconds() * 1e3);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      rep_ms.insert(rep_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  const double wall_seconds = total.ElapsedSeconds();
+  stop.store(true);
+  if (storm) writer.join();
+
+  r.p50_ms = bench::PercentileOf(rep_ms, 0.50);
+  r.p95_ms = bench::PercentileOf(rep_ms, 0.95);
+  const double reads = static_cast<double>(kMvccReaders) *
+                       kMvccRepsPerReader * kMvccBatch;
+  r.wall_qpm = wall_seconds > 0.0 ? reads / wall_seconds * 60.0 : 0.0;
+  return r;
+}
+
+void RecordMvcc(const bench::BenchEnv& env, std::string_view op,
+                uint64_t samples, double p50_ms, double p95_ms,
+                double throughput) {
+  bench::BenchResult res;
+  res.name = bench::SeriesName(
+      "gts-serve-mvcc", op,
+      "b=" + std::to_string(kMvccBatch) + ",readers=" +
+          std::to_string(kMvccReaders));
+  res.dataset = env.spec->name;
+  res.samples = samples;
+  res.p50_latency_ms = p50_ms;
+  res.p95_latency_ms = p95_ms;
+  res.throughput_per_min = throughput;
+  bench::GlobalReporter().AddResult(res);
+}
+
+void RunMvccPhase(const bench::BenchEnv& env, GtsIndex* index) {
+  const float r = bench::RadiusForStep(env, kDefaultRadiusStep);
+  const Dataset queries = SampleQueries(env.data, kMvccBatch, 5);
+  const std::vector<float> radii(queries.size(), r);
+  constexpr uint64_t kSamples =
+      static_cast<uint64_t>(kMvccReaders) * kMvccRepsPerReader;
+
+  std::printf("%s mvcc (rebuild storm): %u readers x %d range batches of "
+              "%u, writer looping full rebuilds\n",
+              env.spec->name, kMvccReaders, kMvccRepsPerReader, kMvccBatch);
+
+  const MvccResult base = RunMvccLoad(index, queries, radii, /*storm=*/false);
+  const MvccResult storm = RunMvccLoad(index, queries, radii, /*storm=*/true);
+  const double ratio = base.p95_ms > 0.0 ? storm.p95_ms / base.p95_ms : 0.0;
+
+  RecordMvcc(env, "mrq-nowriter", kSamples, base.p50_ms, base.p95_ms,
+             base.wall_qpm);
+  RecordMvcc(env, "mrq-storm", kSamples, storm.p50_ms, storm.p95_ms,
+             storm.wall_qpm);
+  // The p95 ratio rides in the latency fields so that growth warns — the
+  // same convention as the streaming phase's reject-rate series.
+  RecordMvcc(env, "p95-ratio", kSamples, ratio, ratio, 0.0);
+
+  std::printf("  %-12s p50 %8.4f ms  p95 %8.4f ms\n", "no writer",
+              base.p50_ms, base.p95_ms);
+  std::printf("  %-12s p50 %8.4f ms  p95 %8.4f ms  (%llu rebuilds "
+              "published, %llu versions reclaimed)\n",
+              "storm", storm.p50_ms, storm.p95_ms,
+              static_cast<unsigned long long>(storm.rebuilds),
+              static_cast<unsigned long long>(index->versions_reclaimed()));
+  std::printf("  reader p95 under storm: %.3fx of no-writer baseline "
+              "(target < 2x)\n\n",
+              ratio);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool streaming = false;
   bool router = false;
   bool sharded = false;
+  bool mvcc = false;
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--streaming") == 0 ||
         std::strcmp(argv[i], "--router") == 0 ||
-        std::strcmp(argv[i], "--sharded") == 0) {
+        std::strcmp(argv[i], "--sharded") == 0 ||
+        std::strcmp(argv[i], "--mvcc") == 0) {
       if (std::strcmp(argv[i], "--streaming") == 0) {
         streaming = true;
       } else if (std::strcmp(argv[i], "--router") == 0) {
         router = true;
-      } else {
+      } else if (std::strcmp(argv[i], "--sharded") == 0) {
         sharded = true;
+      } else {
+        mvcc = true;
       }
       for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
       argv[--argc] = nullptr;
@@ -880,6 +1004,9 @@ int main(int argc, char** argv) {
     }
     if (sharded && id == DatasetId::kTLoc) {
       RunShardedPhase(env);
+    }
+    if (mvcc && id == DatasetId::kTLoc) {
+      RunMvccPhase(env, index.get());
     }
   }
   bench::PrintRule('=');

@@ -1,0 +1,100 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace gts::epoch {
+
+Domain::~Domain() {
+  // By contract no guard is live; everything left in limbo is unreachable.
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  for (const Limbo& item : limbo_) item.deleter(item.ptr);
+  reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  limbo_.clear();
+}
+
+uint64_t Domain::MinActiveEpoch() const {
+  uint64_t min_active = global_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle) min_active = std::min(min_active, e);
+  }
+  return min_active;
+}
+
+void Domain::Retire(void* p, void (*deleter)(void*)) {
+  // The stamp is the epoch at which `p` was unpublished: fetch_add returns
+  // the pre-increment value, and any guard pinned at stamp or later can
+  // only have loaded the replacement (the caller unpublishes before
+  // retiring). Items reclaim once every pinned epoch exceeds their stamp.
+  const uint64_t stamp = global_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(Limbo{p, deleter, stamp});
+  }
+  Reclaim();
+}
+
+void Domain::Reclaim() {
+  // Scan slots AFTER taking the limbo mutex: a guard pinned after the scan
+  // starts holds an epoch >= some value the scan already accounted for
+  // (epochs only grow), so it cannot protect an item the scan frees.
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  if (limbo_.empty()) return;
+  const uint64_t min_active = MinActiveEpoch();
+  auto doomed = std::partition(
+      limbo_.begin(), limbo_.end(),
+      [min_active](const Limbo& item) { return item.stamp >= min_active; });
+  for (auto it = doomed; it != limbo_.end(); ++it) it->deleter(it->ptr);
+  reclaimed_.fetch_add(static_cast<uint64_t>(limbo_.end() - doomed),
+                       std::memory_order_relaxed);
+  limbo_.erase(doomed, limbo_.end());
+}
+
+size_t Domain::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+size_t Domain::active_guards() const {
+  size_t n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_seq_cst) != kIdle) ++n;
+  }
+  return n;
+}
+
+Guard::Guard(Domain* domain) : domain_(domain) {
+  // Start probing at a thread-sticky slot so repeat pins from the same
+  // reader thread stay on one cache line instead of racing the array.
+  static thread_local size_t hint = 0;
+  for (;;) {
+    for (size_t probe = 0; probe < Domain::kSlots; ++probe) {
+      const size_t i = (hint + probe) % Domain::kSlots;
+      // Read the global epoch BEFORE claiming the slot: the pinned value
+      // must be <= the stamp of any item retired after this pin becomes
+      // visible, or Reclaim could free state this guard is about to load.
+      const uint64_t e = domain_->global_.load(std::memory_order_seq_cst);
+      uint64_t expected = Domain::kIdle;
+      if (domain_->slots_[i].epoch.compare_exchange_strong(
+              expected, e, std::memory_order_seq_cst)) {
+        hint = i;
+        slot_ = i;
+        return;
+      }
+    }
+    // All slots busy — more than kSlots simultaneous guards. Back off;
+    // some guard will release (readers never block inside a guard).
+    std::this_thread::yield();
+  }
+}
+
+void Guard::Release() {
+  if (domain_ == nullptr) return;
+  domain_->slots_[slot_].epoch.store(Domain::kIdle,
+                                     std::memory_order_seq_cst);
+  domain_ = nullptr;
+}
+
+}  // namespace gts::epoch

@@ -1,0 +1,156 @@
+// Epoch-based reclamation for lock-free read paths.
+//
+// The publication pattern this protects (core/gts.h's versioned index
+// state, after pramalhe/bundledrefs-style versioned structures):
+//
+//   reader                          writer (serialized externally)
+//   ──────                          ──────────────────────────────
+//   Guard g(&domain);   // pin      build replacement state
+//   v = current.load(); // read     old = current.exchange(next);
+//   ... use *v ...                  domain.Retire(old);  // deferred free
+//   ~g;                 // unpin
+//
+// A retired object is freed only once every guard that could possibly
+// have observed it has been released: Retire stamps the object with the
+// domain's current epoch, advances the epoch, and frees exactly the limbo
+// items whose stamp precedes every live guard's pinned epoch. Readers
+// therefore never block, never take a lock, and never touch freed memory;
+// writers pay one mutex-protected limbo-list push per retirement.
+//
+// Memory-ordering sketch (all cross-thread operations below are seq_cst):
+// a guard pins a slot with an epoch read from the global counter BEFORE
+// loading the published pointer. If the load still observed the old
+// pointer, the pin preceded the writer's publication in the seq_cst total
+// order, so the writer's post-retire slot scan sees the pinned epoch
+// (which is <= the retire stamp, as the epoch only grows) and keeps the
+// item. If the scan saw the slot idle, the reader's load is ordered after
+// the publication and observes the replacement — either way no guard can
+// hold a freed version. See tests/epoch_test.cc for the liveness and
+// reclamation unit tests (run under ASan in CI).
+#ifndef GTS_COMMON_EPOCH_H_
+#define GTS_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gts::epoch {
+
+class Guard;
+
+/// One reclamation domain: a fixed array of guard slots, a global epoch
+/// counter, and a limbo list of retired objects awaiting reclamation.
+/// Thread-safe: any number of threads may pin guards and retire objects
+/// concurrently (retirements serialize on an internal mutex; pin/unpin is
+/// lock-free). A domain typically lives inside the structure it protects
+/// (one per GtsIndex) and must outlive every Guard pinned on it.
+class Domain {
+ public:
+  Domain() = default;
+  /// Frees everything still in limbo. No guard may be live.
+  ~Domain();
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Hands `p` to the domain for deferred deletion: `deleter(p)` runs once
+  /// no live guard can still observe it (possibly inside this call, when
+  /// no guard is pinned). Advances the global epoch.
+  void Retire(void* p, void (*deleter)(void*));
+
+  /// Typed convenience over the raw Retire.
+  template <typename T>
+  void Retire(T* p) {
+    Retire(const_cast<std::remove_const_t<T>*>(p),
+           [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Attempts to free limbo items that no live guard protects. Retire
+  /// calls this automatically; explicit calls are for tests and for
+  /// draining after the last guard of a quiescent phase releases.
+  void Reclaim();
+
+  /// Current global epoch (starts at 1, advances once per Retire).
+  uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
+  /// Objects handed to Retire since construction.
+  uint64_t retired_count() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  /// Objects whose deleter has run since construction.
+  uint64_t reclaimed_count() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  /// Retired objects still awaiting reclamation.
+  size_t limbo_size() const;
+  /// Guards currently pinned (a point-in-time scan, for tests/monitoring).
+  size_t active_guards() const;
+
+  /// Guard slots available; more simultaneous guards than this spin in
+  /// Guard's constructor until a slot frees.
+  static constexpr size_t kSlots = 64;
+
+ private:
+  friend class Guard;
+
+  static constexpr uint64_t kIdle = ~0ull;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  struct Limbo {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t stamp;
+  };
+
+  /// Smallest epoch pinned by any live guard; the current global epoch
+  /// when none is pinned. Items stamped strictly below it are safe.
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_{1};
+  std::vector<Slot> slots_{kSlots};
+
+  mutable std::mutex limbo_mu_;
+  std::vector<Limbo> limbo_;
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+/// RAII pin on a Domain: objects retired after construction stay alive
+/// until destruction. Movable (ownership of the pinned slot transfers),
+/// not copyable. Unlike a std::shared_lock, a Guard is thread-agnostic —
+/// it may be released on a different thread than it was acquired on,
+/// which is how a pinned read view travels through a worker pool.
+class Guard {
+ public:
+  explicit Guard(Domain* domain);
+  ~Guard() { Release(); }
+
+  Guard(Guard&& other) noexcept
+      : domain_(other.domain_), slot_(other.slot_) {
+    other.domain_ = nullptr;
+  }
+  Guard& operator=(Guard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      domain_ = other.domain_;
+      slot_ = other.slot_;
+      other.domain_ = nullptr;
+    }
+    return *this;
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  void Release();
+
+  Domain* domain_ = nullptr;
+  size_t slot_ = 0;
+};
+
+}  // namespace gts::epoch
+
+#endif  // GTS_COMMON_EPOCH_H_

@@ -4,6 +4,12 @@
 // *global* encode-sort-partition pass (Algorithm 3) that splits all nodes of
 // the level at once — the key idea that turns tree construction into flat,
 // device-wide kernels.
+//
+// The builder is a pure producer: it writes only into the TreeTables it is
+// handed (plus the thread-safe device clock and metric counters), never into
+// published index state. That is what lets Rebuild run double-buffered — a
+// full build proceeds beside live readers of the current version, and the
+// writer swaps the finished tables in with one atomic publication.
 
 #include <algorithm>
 #include <cassert>
@@ -14,38 +20,29 @@
 
 namespace gts {
 
-namespace {
-
-struct FftPick {
-  uint32_t pivot = kInvalidId;
-  uint64_t extra_distance_items = 0;  // distances beyond the cached column
-};
-
-}  // namespace
-
-Status GtsIndex::BuildTreeOver(std::vector<uint32_t> ids) {
+Status GtsIndex::BuildTreeOver(const Dataset& data, std::vector<uint32_t> ids,
+                               uint64_t rebuild_seq, TreeTables* out) const {
   const uint32_t nc = options_.node_capacity;
   const uint64_t n = ids.size();
 
-  height_ = TreeHeight(n, nc);
-  const uint64_t total = TotalNodes(height_, nc);
-  node_list_.assign(total + 1, GtsNode{});
-  tl_object_ = std::move(ids);
-  tl_dis_.assign(n, 0.0f);
-  indexed_count_ = static_cast<uint32_t>(n);
-  tombstones_in_tree_ = 0;
+  out->height = TreeHeight(n, nc);
+  const uint64_t total = TotalNodes(out->height, nc);
+  out->node_list.assign(total + 1, GtsNode{});
+  out->tl_object = std::move(ids);
+  out->tl_dis.assign(n, 0.0f);
+  out->indexed_count = static_cast<uint32_t>(n);
 
-  GtsNode& root = node_list_[1];
+  GtsNode& root = out->node_list[1];
   root.pos = 0;
   root.size = static_cast<uint32_t>(n);
 
   // Table-list initialization kernel (Algorithm 1 lines 4-5).
   device_->clock().ChargeKernel(n, n);
 
-  Rng rng(options_.seed + 0x9e3779b9ull * rebuild_count_);
-  for (uint32_t layer = 1; layer + 1 <= height_; ++layer) {
-    MapLevel(layer, &rng);
-    GTS_RETURN_IF_ERROR(PartitionLevel(layer));
+  Rng rng(options_.seed + 0x9e3779b9ull * rebuild_seq);
+  for (uint32_t layer = 1; layer + 1 <= out->height; ++layer) {
+    MapLevel(data, layer, &rng, out);
+    GTS_RETURN_IF_ERROR(PartitionLevel(layer, out));
   }
   return Status::Ok();
 }
@@ -55,32 +52,33 @@ Status GtsIndex::BuildTreeOver(std::vector<uint32_t> ids) {
 // following FFT/BPS/HF practice validated in [62]. The distance column to
 // the parent's pivot is already resident in the table list, so only deeper
 // ancestors cost extra distance computations.
-uint32_t GtsIndex::SelectPivotFft(uint64_t node_id, Rng* rng) {
+uint32_t GtsIndex::SelectPivotFft(const Dataset& data, const TreeTables& t,
+                                  uint64_t node_id, Rng* rng) const {
   const uint32_t nc = options_.node_capacity;
-  const GtsNode& node = node_list_[node_id];
+  const GtsNode& node = t.node_list[node_id];
   assert(node.size > 0);
 
   if (node_id == 1) {
-    return tl_object_[node.pos + rng->UniformU64(node.size)];
+    return t.tl_object[node.pos + rng->UniformU64(node.size)];
   }
 
   // Reference pivots: parent first, then deeper ancestors (capped).
   std::vector<uint32_t> refs;
   uint64_t ancestor = ParentNodeId(node_id, nc);
   for (;;) {
-    refs.push_back(node_list_[ancestor].pivot);
+    refs.push_back(t.node_list[ancestor].pivot);
     if (ancestor == 1 || refs.size() >= options_.fft_ancestors) break;
     ancestor = ParentNodeId(ancestor, nc);
   }
 
-  uint32_t best = tl_object_[node.pos];
+  uint32_t best = t.tl_object[node.pos];
   float best_score = -1.0f;
   for (uint32_t j = 0; j < node.size; ++j) {
-    const uint32_t obj = tl_object_[node.pos + j];
-    // min distance to the reference set; tl_dis_ caches the parent column.
-    float score = tl_dis_[node.pos + j];
+    const uint32_t obj = t.tl_object[node.pos + j];
+    // min distance to the reference set; tl_dis caches the parent column.
+    float score = t.tl_dis[node.pos + j];
     for (size_t rix = 1; rix < refs.size(); ++rix) {
-      score = std::min(score, metric_->Distance(data_, obj, refs[rix]));
+      score = std::min(score, metric_->Distance(data, obj, refs[rix]));
     }
     if (score > best_score) {
       best_score = score;
@@ -90,7 +88,8 @@ uint32_t GtsIndex::SelectPivotFft(uint64_t node_id, Rng* rng) {
   return best;
 }
 
-void GtsIndex::MapLevel(uint32_t layer, Rng* rng) {
+void GtsIndex::MapLevel(const Dataset& data, uint32_t layer, Rng* rng,
+                        TreeTables* t) const {
   const uint32_t nc = options_.node_capacity;
   const uint64_t start = LevelStart(layer, nc);
   const uint64_t count = LevelCount(layer, nc);
@@ -99,9 +98,9 @@ void GtsIndex::MapLevel(uint32_t layer, Rng* rng) {
   const uint64_t fft_ops_before = metric_->stats().ops;
   uint64_t fft_items = 0;
   for (uint64_t i = 0; i < count; ++i) {
-    GtsNode& node = node_list_[start + i];
+    GtsNode& node = t->node_list[start + i];
     if (node.size == 0) continue;
-    node.pivot = SelectPivotFft(start + i, rng);
+    node.pivot = SelectPivotFft(data, *t, start + i, rng);
     if (layer > 1 && options_.fft_ancestors > 1) {
       fft_items += node.size;  // extra-ancestor distances per object
     }
@@ -110,28 +109,28 @@ void GtsIndex::MapLevel(uint32_t layer, Rng* rng) {
     device_->clock().ChargeKernel(fft_items,
                                   metric_->stats().ops - fft_ops_before);
   }
-  device_->clock().ChargeScan(indexed_count_);  // per-node argmax reduction
+  device_->clock().ChargeScan(t->indexed_count);  // per-node argmax reduction
 
   // --- Distance fill (Algorithm 2 lines 6-7): d(object, node pivot).
-  gpu::KernelDistanceScope scope(device_, metric_, indexed_count_);
+  gpu::KernelDistanceScope scope(device_, metric_, t->indexed_count);
   for (uint64_t i = 0; i < count; ++i) {
-    const GtsNode& node = node_list_[start + i];
+    const GtsNode& node = t->node_list[start + i];
     for (uint32_t j = 0; j < node.size; ++j) {
-      const uint32_t obj = tl_object_[node.pos + j];
-      tl_dis_[node.pos + j] =
-          obj == node.pivot ? 0.0f : metric_->Distance(data_, obj, node.pivot);
+      const uint32_t obj = t->tl_object[node.pos + j];
+      t->tl_dis[node.pos + j] =
+          obj == node.pivot ? 0.0f : metric_->Distance(data, obj, node.pivot);
     }
   }
 }
 
-Status GtsIndex::PartitionLevel(uint32_t layer) {
+Status GtsIndex::PartitionLevel(uint32_t layer, TreeTables* t) const {
   const uint32_t nc = options_.node_capacity;
   const uint64_t start = LevelStart(layer, nc);
   const uint64_t count = LevelCount(layer, nc);
-  const uint64_t n = indexed_count_;
+  const uint64_t n = t->indexed_count;
 
   // Normalization bound (Algorithm 3 lines 1-2).
-  const float maxd = gpu::ReduceMax(device_, tl_dis_);
+  const float maxd = gpu::ReduceMax(device_, t->tl_dis);
 
   // Encoding kernel (lines 3-6): integer part = node rank in the level,
   // fractional part = normalized distance to the node's pivot.
@@ -139,33 +138,33 @@ Status GtsIndex::PartitionLevel(uint32_t layer) {
   if (!keys_r.ok()) return keys_r.status();
   auto& keys = keys_r.value();
   for (uint64_t i = 0; i < count; ++i) {
-    const GtsNode& node = node_list_[start + i];
+    const GtsNode& node = t->node_list[start + i];
     for (uint32_t j = 0; j < node.size; ++j) {
       keys[node.pos + j] = static_cast<double>(i) +
-                           static_cast<double>(tl_dis_[node.pos + j]) /
+                           static_cast<double>(t->tl_dis[node.pos + j]) /
                                (static_cast<double>(maxd) + 1.0);
     }
   }
   device_->clock().ChargeKernel(n, 2 * n);
 
   // Global concurrent sort (line 7) carrying the table list.
-  gpu::SortTableByKey(device_, std::span<double>(keys.data(), n), tl_object_,
-                      tl_dis_);
+  gpu::SortTableByKey(device_, std::span<double>(keys.data(), n), t->tl_object,
+                      t->tl_dis);
 
   // Child construction (lines 8-18): objects are split evenly; the last
   // child absorbs the remainder. Note: the paper's line 15 advances child
   // positions by Nc — a typo; positions must advance by the child size.
   for (uint64_t i = 0; i < count; ++i) {
-    const GtsNode& node = node_list_[start + i];
+    const GtsNode& node = t->node_list[start + i];
     const uint32_t avg = node.size / nc;
     for (uint32_t j = 0; j < nc; ++j) {
-      GtsNode& child = node_list_[ChildNodeId(start + i, j, nc)];
+      GtsNode& child = t->node_list[ChildNodeId(start + i, j, nc)];
       child.pos = node.pos + j * avg;
       child.size = (j + 1 < nc) ? avg : node.size - avg * (nc - 1);
       child.pivot = kInvalidId;
       if (child.size > 0) {
-        child.min_dis = tl_dis_[child.pos];
-        child.max_dis = tl_dis_[child.pos + child.size - 1];
+        child.min_dis = t->tl_dis[child.pos];
+        child.max_dis = t->tl_dis[child.pos + child.size - 1];
       }
     }
   }

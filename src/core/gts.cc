@@ -1,6 +1,12 @@
 // GtsIndex lifecycle and update strategies (paper §4.4):
 // streaming updates through the cache table (O(1) insert/delete, rebuild on
 // overflow) and batch updates via full parallel reconstruction.
+//
+// Every update here follows one shape: copy the touched components of the
+// current version (the untouched ones are shared), mutate the copies,
+// publish the assembled successor with one atomic swap, and retire the
+// predecessor through the epoch domain. Nothing a concurrent reader holds
+// is ever mutated, and a failed update publishes nothing.
 
 #include <algorithm>
 #include <cassert>
@@ -10,14 +16,20 @@
 
 namespace gts {
 
-GtsIndex::GtsIndex(Dataset data, const DistanceMetric* metric,
-                   gpu::Device* device, const GtsOptions& options)
-    : data_(std::move(data)),
-      metric_(metric),
+GtsIndex::GtsIndex(const DistanceMetric* metric, gpu::Device* device,
+                   const GtsOptions& options, DataKind data_kind,
+                   uint32_t data_dim)
+    : metric_(metric),
       device_(device),
-      options_(options) {}
+      options_(options),
+      data_kind_(data_kind),
+      data_dim_(data_dim) {}
 
 GtsIndex::~GtsIndex() {
+  // No reader can be live (the contract forbids a ReadSnapshot outliving
+  // the index), so the current version and everything in limbo is ours.
+  delete current_.load(std::memory_order_seq_cst);
+  epoch_.Reclaim();  // the domain destructor frees whatever remains
   if (device_ != nullptr && resident_bytes_ > 0) {
     device_->Free(resident_bytes_);
   }
@@ -37,29 +49,50 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Build(Dataset data,
     return Status::InvalidArgument("node_capacity must be >= 2");
   }
   std::unique_ptr<GtsIndex> index(
-      new GtsIndex(std::move(data), metric, device, options));
-  index->alive_.assign(index->data_.size(), 1);
-  index->alive_count_ = index->data_.size();
+      new GtsIndex(metric, device, options, data.kind(), data.dim()));
 
-  std::vector<uint32_t> ids(index->data_.size());
+  auto live = std::make_shared<Liveness>();
+  live->alive.assign(data.size(), 1);
+  live->alive_count = data.size();
+
+  std::vector<uint32_t> ids(data.size());
   std::iota(ids.begin(), ids.end(), 0u);
-  GTS_RETURN_IF_ERROR(index->BuildTreeOver(std::move(ids)));
-  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes());
+  auto tree = std::make_shared<TreeTables>();
+  GTS_RETURN_IF_ERROR(
+      index->BuildTreeOver(data, std::move(ids), /*rebuild_seq=*/0,
+                           tree.get()));
+
+  auto version = std::make_unique<Version>();
+  version->data = std::make_shared<const Dataset>(std::move(data));
+  version->tree = std::move(tree);
+  version->live = std::move(live);
+  version->cache = std::make_shared<const CacheList>();
+  version->version_id = index->next_version_id_++;
+  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes(version.get()));
+  index->current_.store(version.release(), std::memory_order_seq_cst);
   return index;
 }
 
-uint64_t GtsIndex::IndexBytes() const {
-  return node_list_.size() * sizeof(GtsNode) +
-         tl_object_.size() * (sizeof(uint32_t) + sizeof(float)) +
-         cache_.size() * sizeof(uint32_t) + cache_.bytes();
+uint64_t GtsIndex::IndexBytesOf(const Version& v) {
+  return v.tree->node_list.size() * sizeof(GtsNode) +
+         v.tree->tl_object.size() * (sizeof(uint32_t) + sizeof(float)) +
+         v.cache->size() * sizeof(uint32_t) + v.cache->bytes();
 }
 
-Status GtsIndex::UpdateResidentBytes() {
+uint64_t GtsIndex::IndexBytes() const {
+  epoch::Guard guard(&epoch_);
+  return IndexBytesOf(Current());
+}
+
+Status GtsIndex::UpdateResidentBytes(Version* v) {
   // Device residency: the dataset payload (alive objects), the index
-  // structures, and the cache table.
-  uint64_t bytes = IndexBytes();
-  for (uint32_t id = 0; id < data_.size(); ++id) {
-    if (alive_[id]) bytes += data_.ObjectBytes(id);
+  // structures, and the cache table. The reservation tracks the *published*
+  // footprint — a rebuild's transient second copy (the build-beside tables)
+  // is host-side staging in this model and intentionally not charged.
+  uint64_t bytes = IndexBytesOf(*v);
+  const Dataset& data = *v->data;
+  for (uint32_t id = 0; id < data.size(); ++id) {
+    if (v->live->alive[id]) bytes += data.ObjectBytes(id);
   }
   if (bytes > resident_bytes_) {
     GTS_RETURN_IF_ERROR(
@@ -68,7 +101,14 @@ Status GtsIndex::UpdateResidentBytes() {
     device_->Free(resident_bytes_ - bytes);
   }
   resident_bytes_ = bytes;
+  v->resident_bytes = bytes;
   return Status::Ok();
+}
+
+void GtsIndex::Publish(std::unique_ptr<Version> next) {
+  const Version* old =
+      current_.exchange(next.release(), std::memory_order_seq_cst);
+  if (old != nullptr) epoch_.Retire(old);
 }
 
 GtsQueryStats GtsIndex::query_stats() const {
@@ -99,6 +139,67 @@ void GtsIndex::AccumulateStats(const QueryContext& ctx,
   if (stats_out != nullptr) *stats_out = s;
 }
 
+// --- Introspection (pinned value reads) -----------------------------------
+
+uint32_t GtsIndex::height() const {
+  epoch::Guard guard(&epoch_);
+  return Current().tree->height;
+}
+
+uint64_t GtsIndex::num_nodes() const {
+  epoch::Guard guard(&epoch_);
+  return Current().tree->node_list.size() - 1;
+}
+
+uint32_t GtsIndex::size() const {
+  epoch::Guard guard(&epoch_);
+  return Current().data->size();
+}
+
+uint32_t GtsIndex::alive_size() const {
+  epoch::Guard guard(&epoch_);
+  return Current().live->alive_count;
+}
+
+uint32_t GtsIndex::cache_size() const {
+  epoch::Guard guard(&epoch_);
+  return Current().cache->size();
+}
+
+uint64_t GtsIndex::rebuild_count() const {
+  epoch::Guard guard(&epoch_);
+  return Current().rebuild_count;
+}
+
+bool GtsIndex::IsAlive(uint32_t id) const {
+  epoch::Guard guard(&epoch_);
+  return Current().live->alive[id] != 0;
+}
+
+uint64_t GtsIndex::DeviceResidentBytes() const {
+  epoch::Guard guard(&epoch_);
+  return Current().resident_bytes;
+}
+
+// Reference accessors: valid until the next update publishes a successor;
+// see the header for the external-synchronization contract.
+
+const Dataset& GtsIndex::data() const { return *Current().data; }
+
+const GtsNode& GtsIndex::node(uint64_t id) const {
+  return Current().tree->node_list[id];
+}
+
+std::span<const uint32_t> GtsIndex::table_objects() const {
+  return Current().tree->tl_object;
+}
+
+std::span<const float> GtsIndex::table_dis() const {
+  return Current().tree->tl_dis;
+}
+
+// --- Single-query conveniences --------------------------------------------
+
 Result<std::vector<uint32_t>> GtsIndex::RangeQuery(
     const Dataset& queries, uint32_t idx, float radius,
     GtsQueryStats* stats_out) const {
@@ -124,104 +225,207 @@ Result<std::vector<Neighbor>> GtsIndex::KnnQuery(
   return std::move(res.value()[0]);
 }
 
+// --- ReadSnapshot ----------------------------------------------------------
+
+GtsIndex::ReadSnapshot::ReadSnapshot(const GtsIndex* index)
+    : index_(index),
+      guard_(&index->epoch_),  // pin BEFORE the version load
+      version_(index->current_.load(std::memory_order_seq_cst)) {}
+
+uint32_t GtsIndex::ReadSnapshot::size() const { return version_->data->size(); }
+
+uint32_t GtsIndex::ReadSnapshot::alive_size() const {
+  return version_->live->alive_count;
+}
+
+uint32_t GtsIndex::ReadSnapshot::height() const {
+  return version_->tree->height;
+}
+
+uint32_t GtsIndex::ReadSnapshot::cache_size() const {
+  return version_->cache->size();
+}
+
+uint64_t GtsIndex::ReadSnapshot::rebuild_count() const {
+  return version_->rebuild_count;
+}
+
 Result<RangeResults> GtsIndex::ReadSnapshot::RangeQueryBatch(
     const Dataset& queries, std::span<const float> radii,
     GtsQueryStats* stats_out) const {
-  return index_->RangeQueryBatchUnlocked(queries, radii, stats_out);
+  return index_->RangeQueryBatchOn(*version_, queries, radii, stats_out);
 }
 
 Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatch(
     const Dataset& queries, uint32_t k, GtsQueryStats* stats_out) const {
-  return index_->KnnQueryBatchUnlocked(queries, k, /*candidate_fraction=*/1.0,
-                                       stats_out);
+  return index_->KnnQueryBatchOn(*version_, queries, k,
+                                 /*candidate_fraction=*/1.0, stats_out);
 }
 
 Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatchApprox(
     const Dataset& queries, uint32_t k, double candidate_fraction,
     GtsQueryStats* stats_out) const {
-  return index_->KnnQueryBatchUnlocked(queries, k, candidate_fraction,
-                                       stats_out);
+  return index_->KnnQueryBatchOn(*version_, queries, k, candidate_fraction,
+                                 stats_out);
 }
 
+// --- Update strategies -----------------------------------------------------
+
 Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
-  std::unique_lock lock(mu_);
-  if (!src.CompatibleWith(data_)) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!CompatibleData(src)) {
     return Status::InvalidArgument("inserted object incompatible with dataset");
   }
+  const Version& cur = Current();
   const uint64_t obj_bytes = src.ObjectBytes(idx);
   GTS_RETURN_IF_ERROR(device_->Allocate(obj_bytes, "GTS cache insert"));
   resident_bytes_ += obj_bytes;
 
-  data_.AppendFrom(src, idx);
-  const uint32_t id = data_.size() - 1;
-  alive_.push_back(1);
-  ++alive_count_;
-  cache_.Add(id, obj_bytes);
+  auto data = std::make_shared<Dataset>(*cur.data);
+  data->AppendFrom(src, idx);
+  const uint32_t id = data->size() - 1;
+
+  auto live = std::make_shared<Liveness>(*cur.live);
+  live->alive.push_back(1);
+  ++live->alive_count;
+
+  auto cache = std::make_shared<CacheList>(*cur.cache);
+  cache->Add(id, obj_bytes);
   device_->clock().ChargeKernel(1, 4);  // O(1) cache append
 
-  if (cache_.bytes() > options_.cache_capacity_bytes) {
-    GTS_RETURN_IF_ERROR(RebuildLocked());
+  auto next = std::make_unique<Version>();
+  next->data = std::move(data);
+  next->tree = cur.tree;  // untouched: shared with the predecessor
+  next->live = std::move(live);
+  next->cache = std::move(cache);
+  next->rebuild_count = cur.rebuild_count;
+  next->version_id = next_version_id_++;
+
+  if (next->cache->bytes() > options_.cache_capacity_bytes) {
+    GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
+    GTS_RETURN_IF_ERROR(UpdateResidentBytes(next.get()));
+  } else {
+    next->resident_bytes = resident_bytes_;  // incremental: + the new object
   }
+  Publish(std::move(next));
   return id;
 }
 
 Status GtsIndex::Remove(uint32_t id) {
-  std::unique_lock lock(mu_);
-  if (id >= data_.size() || !alive_[id]) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Version& cur = Current();
+  if (id >= cur.data->size() || !cur.live->alive[id]) {
     return Status::NotFound("object not present");
   }
-  alive_[id] = 0;
-  --alive_count_;
+  auto live = std::make_shared<Liveness>(*cur.live);
+  live->alive[id] = 0;
+  --live->alive_count;
+  auto cache = std::make_shared<CacheList>(*cur.cache);
   device_->clock().ChargeKernel(1, 4);  // O(1) locate + mark
 
-  if (!cache_.Erase(id)) {
-    ++tombstones_in_tree_;
-    if (indexed_count_ > 0 &&
-        static_cast<double>(tombstones_in_tree_) > options_.max_tombstone_fraction *
-            static_cast<double>(indexed_count_)) {
-      GTS_RETURN_IF_ERROR(RebuildLocked());
-    }
+  bool rebuild = false;
+  if (!cache->Erase(id)) {
+    ++live->tombstones_in_tree;
+    const uint32_t indexed = cur.tree->indexed_count;
+    rebuild = indexed > 0 &&
+              static_cast<double>(live->tombstones_in_tree) >
+                  options_.max_tombstone_fraction *
+                      static_cast<double>(indexed);
   }
+
+  auto next = std::make_unique<Version>();
+  next->data = cur.data;  // untouched: shared with the predecessor
+  next->tree = cur.tree;
+  next->live = std::move(live);
+  next->cache = std::move(cache);
+  next->rebuild_count = cur.rebuild_count;
+  next->version_id = next_version_id_++;
+
+  if (rebuild) {
+    GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
+    GTS_RETURN_IF_ERROR(UpdateResidentBytes(next.get()));
+  } else {
+    // A tombstone frees no reservation until the next reconstruction.
+    next->resident_bytes = cur.resident_bytes;
+  }
+  Publish(std::move(next));
   return Status::Ok();
 }
 
 Status GtsIndex::BatchUpdate(const Dataset& inserts,
                              std::span<const uint32_t> removals) {
-  std::unique_lock lock(mu_);
-  if (!inserts.empty() && !inserts.CompatibleWith(data_)) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!inserts.empty() && !CompatibleData(inserts)) {
     return Status::InvalidArgument("inserted objects incompatible with dataset");
   }
+  const Version& cur = Current();
+  auto data = std::make_shared<Dataset>(*cur.data);
+  auto live = std::make_shared<Liveness>(*cur.live);
   for (const uint32_t id : removals) {
-    if (id >= data_.size() || !alive_[id]) continue;
-    alive_[id] = 0;
-    --alive_count_;
-    cache_.Erase(id);
+    if (id >= data->size() || !live->alive[id]) continue;
+    live->alive[id] = 0;
+    --live->alive_count;
   }
   for (uint32_t i = 0; i < inserts.size(); ++i) {
-    data_.AppendFrom(inserts, i);
-    alive_.push_back(1);
-    ++alive_count_;
+    data->AppendFrom(inserts, i);
+    live->alive.push_back(1);
+    ++live->alive_count;
   }
   device_->clock().ChargeKernel(removals.size() + inserts.size(),
                                 (removals.size() + inserts.size()) * 2);
-  return RebuildLocked();
+
+  auto next = std::make_unique<Version>();
+  next->data = std::move(data);
+  next->live = std::move(live);
+  next->tree = cur.tree;    // replaced by RebuildVersion below
+  next->cache = cur.cache;  // ditto
+  next->rebuild_count = cur.rebuild_count;
+  next->version_id = next_version_id_++;
+
+  // One published version carries the whole batch: removals, inserts and
+  // the reconstruction land atomically from any reader's point of view.
+  GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
+  GTS_RETURN_IF_ERROR(UpdateResidentBytes(next.get()));
+  Publish(std::move(next));
+  return Status::Ok();
 }
 
 Status GtsIndex::Rebuild() {
-  std::unique_lock lock(mu_);
-  return RebuildLocked();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Version& cur = Current();
+  auto next = std::make_unique<Version>();
+  next->data = cur.data;
+  next->live = cur.live;
+  next->tree = cur.tree;    // replaced by RebuildVersion below
+  next->cache = cur.cache;  // ditto
+  next->rebuild_count = cur.rebuild_count;
+  next->version_id = next_version_id_++;
+  GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
+  GTS_RETURN_IF_ERROR(UpdateResidentBytes(next.get()));
+  Publish(std::move(next));
+  return Status::Ok();
 }
 
-Status GtsIndex::RebuildLocked() {
+Status GtsIndex::RebuildVersion(Version* v) const {
+  // Double-buffered reconstruction: the new tree tables are built beside
+  // the published version — readers keep descending the old tables at full
+  // speed for the whole build — and v simply absorbs them; the caller's
+  // Publish() is the swap.
   std::vector<uint32_t> ids;
-  ids.reserve(alive_count_);
-  for (uint32_t id = 0; id < data_.size(); ++id) {
-    if (alive_[id]) ids.push_back(id);
+  ids.reserve(v->live->alive_count);
+  for (uint32_t id = 0; id < v->data->size(); ++id) {
+    if (v->live->alive[id]) ids.push_back(id);
   }
-  ++rebuild_count_;
-  GTS_RETURN_IF_ERROR(BuildTreeOver(std::move(ids)));
-  cache_.Clear();
-  return UpdateResidentBytes();
+  ++v->rebuild_count;
+  auto tree = std::make_shared<TreeTables>();
+  GTS_RETURN_IF_ERROR(
+      BuildTreeOver(*v->data, std::move(ids), v->rebuild_count, tree.get()));
+  v->tree = std::move(tree);
+  auto live = std::make_shared<Liveness>(*v->live);
+  live->tombstones_in_tree = 0;  // every alive object is in the new tree
+  v->live = std::move(live);
+  v->cache = std::make_shared<const CacheList>();  // absorbed into the tree
+  return Status::Ok();
 }
 
 }  // namespace gts

@@ -4,12 +4,19 @@
 // streaming updates through a cache table, and batch updates via full
 // parallel reconstruction.
 //
-// Thread-safety: the batched queries are const and may run concurrently from
-// any number of threads; the update strategies (Insert/Remove/BatchUpdate/
-// Rebuild) take an internal writer lock and safely interleave with in-flight
-// queries. See serve/query_executor.h for the multi-threaded batch executor
-// and serve/query_session.h for the streaming (per-query) submission front
-// door with admission control.
+// Thread-safety: reads are lock-free. All index state a query touches
+// (dataset, tree tables, liveness, cache table) lives in an immutable
+// Version published behind an atomic pointer; a query pins an epoch guard,
+// loads the current version, and runs entirely against that version — it
+// never blocks on, and is never blocked by, the update strategies. Updates
+// (Insert/Remove/BatchUpdate/Rebuild) serialize on a writer-only mutex,
+// build replacement state beside the live version (copy-on-write for
+// streaming updates, full build-beside for reconstruction), publish it with
+// one atomic pointer swap, and retire the superseded version through an
+// epoch-reclamation domain (common/epoch.h) that frees it once the last
+// pinned reader releases. See serve/query_executor.h for the
+// multi-threaded batch executor and serve/query_session.h for the
+// streaming (per-query) submission front door with admission control.
 //
 // Typical use:
 //   auto device = std::make_unique<gpu::Device>();
@@ -26,11 +33,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/cache_list.h"
@@ -87,26 +94,33 @@ struct GtsQueryStats {
 /// The paper's GPU-tree index. See the file comment for the design and the
 /// thread-safety contract; docs/ARCHITECTURE.md places it in the system.
 class GtsIndex {
+ private:
+  struct Version;  // one immutable published state; defined below
+
  public:
-  /// Builds the index over `data` (the index takes ownership — updates grow
-  /// the dataset in place). `metric` and `device` must outlive the index.
+  /// Builds the index over `data` (the index takes ownership; updates
+  /// publish grown copies as new versions). `metric` and `device` must
+  /// outlive the index.
   static Result<std::unique_ptr<GtsIndex>> Build(Dataset data,
                                                  const DistanceMetric* metric,
                                                  gpu::Device* device,
                                                  const GtsOptions& options);
 
-  /// Releases the index's device-resident reservation.
+  /// Releases the index's device-resident reservation and frees every
+  /// version still in the epoch domain's limbo list. No ReadSnapshot may
+  /// outlive the index.
   ~GtsIndex();
   GtsIndex(const GtsIndex&) = delete;
   GtsIndex& operator=(const GtsIndex&) = delete;
 
-  // --- Queries (thread-safe read path) ----------------------------------
+  // --- Queries (lock-free read path) ------------------------------------
   // The batched queries are const and data-race-free: all per-call scratch
   // lives in a per-call context, so any number of threads may query one
-  // index concurrently. Each query call holds the index's shared lock for
-  // its duration, serializing against Insert/Remove/BatchUpdate/Rebuild
-  // (which take it exclusively); a query therefore always observes a
-  // consistent snapshot of the tree, liveness and cache tables.
+  // index concurrently. Each call pins an epoch guard, loads the current
+  // version, and runs wholly against it — no lock is taken, and a
+  // concurrent update (which publishes a *new* version) can neither block
+  // the query nor mutate anything it reads. A query therefore always
+  // observes one consistent version of the tree, liveness and cache tables.
   // When `stats_out` is non-null it receives this call's counters; the
   // aggregate query_stats() is maintained either way (atomically).
 
@@ -146,17 +160,20 @@ class GtsIndex {
                                          uint32_t k,
                                          GtsQueryStats* stats_out = nullptr) const;
 
-  /// A pinned read view with cross-batch snapshot semantics: holds the
-  /// index's shared lock from construction to destruction, so *every*
-  /// query through it — any number, from any thread — observes the same
-  /// tree/liveness/cache state. (A plain multi-batch or multi-shard
-  /// sequence has no such guarantee: an update can land between two
-  /// calls.) Acquire and destroy on the same thread (shared-lock ownership
-  /// is per-thread); the query calls themselves may run on other threads
-  /// while the snapshot is held, which is how the streaming serve layer
-  /// fans a flush cycle out over a worker pool. Do not call the update
-  /// strategies from the holding thread while a snapshot is live
-  /// (self-deadlock); updates from other threads simply wait.
+  /// A pinned read view with cross-batch snapshot semantics: holds an
+  /// epoch guard on the version that was current at construction, so
+  /// *every* query through it — any number, from any thread — observes
+  /// exactly that version, byte for byte, no matter how many updates or
+  /// rebuilds land while it is held. (A plain multi-batch or multi-shard
+  /// sequence has no such guarantee: an update can publish a new version
+  /// between two calls.) Acquiring a snapshot never blocks and never
+  /// delays a writer; the superseded version is simply kept alive until
+  /// the snapshot is released. The guard is thread-agnostic — the
+  /// snapshot may be created on one thread, queried from many, and
+  /// destroyed on another, which is how the streaming serve layer fans a
+  /// flush cycle out over a worker pool. Holding a snapshot across calls
+  /// to the update strategies is allowed from any thread, including the
+  /// holding thread (no self-deadlock: updates only wait for each other).
   class ReadSnapshot {
    public:
     ReadSnapshot(ReadSnapshot&&) = default;
@@ -164,86 +181,92 @@ class GtsIndex {
     ReadSnapshot(const ReadSnapshot&) = delete;
     ReadSnapshot& operator=(const ReadSnapshot&) = delete;
 
-    /// Batched range query through the pinned view.
+    /// Batched range query through the pinned version.
     Result<RangeResults> RangeQueryBatch(
         const Dataset& queries, std::span<const float> radii,
         GtsQueryStats* stats_out = nullptr) const;
-    /// Batched exact kNN query through the pinned view.
+    /// Batched exact kNN query through the pinned version.
     Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
                                      GtsQueryStats* stats_out = nullptr) const;
-    /// Batched approximate kNN query through the pinned view.
+    /// Batched approximate kNN query through the pinned version.
     Result<KnnResults> KnnQueryBatchApprox(
         const Dataset& queries, uint32_t k, double candidate_fraction,
         GtsQueryStats* stats_out = nullptr) const;
 
-    // Introspection through the pinned view. Unlike the index's unlocked
-    // accessors (which need external synchronization against updates),
-    // these are safe whenever the snapshot is live — the shared lock
-    // excludes every update strategy — and mutually consistent with each
-    // other and with the snapshot's queries. Multi-index front ends
+    // Introspection through the pinned version. Unlike the index's live
+    // accessors (which report the current version at each call), these
+    // read the snapshot's own version and are therefore stable and
+    // mutually consistent with each other and with the snapshot's queries
+    // under any concurrent updates. Multi-index front ends
     // (serve::SessionRouter) read per-tenant state this way.
 
     /// Total objects ever stored (including tombstoned ones).
-    uint32_t size() const { return index_->size(); }
-    /// Objects alive (not tombstoned) in this view.
-    uint32_t alive_size() const { return index_->alive_size(); }
-    /// Tree height of this view.
-    uint32_t height() const { return index_->height(); }
-    /// Cache-table entries of this view.
-    uint32_t cache_size() const { return index_->cache_size(); }
-    /// Rebuilds the index has performed up to this view.
-    uint64_t rebuild_count() const { return index_->rebuild_count(); }
-    /// The underlying index (for identity checks; do not call update
-    /// strategies through it from the holding thread).
+    uint32_t size() const;
+    /// Objects alive (not tombstoned) in this version.
+    uint32_t alive_size() const;
+    /// Tree height of this version.
+    uint32_t height() const;
+    /// Cache-table entries of this version.
+    uint32_t cache_size() const;
+    /// Rebuilds the index had performed when this version was published.
+    uint64_t rebuild_count() const;
+    /// The underlying index (for identity checks; updates through it are
+    /// safe but invisible to this snapshot).
     const GtsIndex* index() const { return index_; }
 
    private:
     friend class GtsIndex;
-    explicit ReadSnapshot(const GtsIndex* index)
-        : index_(index), lock_(index->mu_) {}
-    ReadSnapshot(const GtsIndex* index, std::try_to_lock_t)
-        : index_(index), lock_(index->mu_, std::try_to_lock) {}
+    explicit ReadSnapshot(const GtsIndex* index);
 
     const GtsIndex* index_;
-    std::shared_lock<std::shared_mutex> lock_;
+    epoch::Guard guard_;       // pinned BEFORE version_ is loaded
+    const Version* version_;
   };
 
-  /// Acquires the shared lock and returns the pinned view. Blocks while an
-  /// update is in flight, like any query.
+  /// Pins the current version and returns the read view. Never blocks —
+  /// not even while a rebuild is in flight (the rebuild runs beside the
+  /// published version and swaps in afterwards).
   ReadSnapshot SnapshotForRead() const { return ReadSnapshot(this); }
 
-  /// Non-blocking SnapshotForRead: std::nullopt instead of waiting when an
-  /// update holds the index exclusively. Monitoring paths use this so a
-  /// long rebuild cannot stall a stats poll
-  /// (serve::SessionRouter::stats()).
+  /// Historical non-blocking variant of SnapshotForRead from the
+  /// shared-mutex era. Reads are now lock-free, so this always returns an
+  /// engaged optional; it is kept so monitoring paths written against the
+  /// old contract (serve::SessionRouter::stats()) compile unchanged.
   std::optional<ReadSnapshot> TrySnapshotForRead() const {
-    ReadSnapshot snapshot(this, std::try_to_lock);
-    if (!snapshot.lock_.owns_lock()) return std::nullopt;
-    return snapshot;
+    return SnapshotForRead();
   }
 
-  // --- Updates (exclusive writers) --------------------------------------
-  // Update calls take the index lock exclusively and may therefore safely
-  // interleave with in-flight queries from other threads; concurrent update
-  // calls serialize against each other.
+  // --- Updates (serialized writers) -------------------------------------
+  // Update calls serialize on the writer-only mutex, never on readers.
+  // Each builds its successor state beside the published version —
+  // copy-on-write of the touched components for the streaming strategies,
+  // a full build-beside for reconstruction — publishes it with one atomic
+  // swap, and retires the superseded version through the epoch domain. A
+  // failed update publishes nothing: the current version is unchanged.
 
   /// Streaming insert: copies object `idx` of `src` into the cache table
-  /// (O(1)); rebuilds when the cache budget overflows. Returns the new id.
+  /// (O(1) modeled device cost); rebuilds when the cache budget overflows.
+  /// Returns the new id.
   Result<uint32_t> Insert(const Dataset& src, uint32_t idx);
 
   /// Streaming delete: removes from the cache when present, otherwise
-  /// tombstones the table-list entry (O(1)).
+  /// tombstones the table-list entry (O(1) modeled device cost).
   Status Remove(uint32_t id);
 
   /// Batch update: applies all removals and inserts, then reconstructs the
-  /// index with the parallel builder (paper §4.4 "Batch Updates").
+  /// index with the parallel builder (paper §4.4 "Batch Updates"). The
+  /// whole batch lands in one published version: a concurrent reader sees
+  /// either none of it or all of it.
   Status BatchUpdate(const Dataset& inserts, std::span<const uint32_t> removals);
 
-  /// Forces full reconstruction over the alive objects.
+  /// Forces full reconstruction over the alive objects. Double-buffered:
+  /// the new tree is built beside the published version (readers keep
+  /// querying the old tables at full speed) and swapped in at the end.
   Status Rebuild();
 
   /// Persists the complete index state (options, dataset, tree tables,
-  /// liveness, cache) to a binary file.
+  /// liveness, cache) to a binary file. Serializes one pinned version —
+  /// consistent under concurrent updates, and never blocking them.
   Status SaveTo(const std::string& path) const;
 
   /// Restores an index saved with SaveTo. `metric` must match the saved
@@ -254,44 +277,65 @@ class GtsIndex {
                                                 gpu::Device* device);
 
   // --- Introspection ----------------------------------------------------
-  // Plain unlocked reads: safe against concurrent queries (which never
-  // mutate index state), but callers must synchronize externally against
-  // concurrent updates — or read through a ReadSnapshot, whose accessors
-  // are stable and mutually consistent under concurrent updates.
+  // Each value accessor pins the current version for the duration of the
+  // call, so it is safe under concurrent updates — but two successive
+  // calls may observe different versions. Read through a ReadSnapshot for
+  // a mutually consistent set.
 
   /// Tree height (layers).
-  uint32_t height() const { return height_; }
+  uint32_t height() const;
   /// Node capacity Nc the index was built with.
   uint32_t node_capacity() const { return options_.node_capacity; }
   /// Nodes in the tree (the 1-based node list minus its unused slot 0).
-  uint64_t num_nodes() const { return node_list_.size() - 1; }
+  uint64_t num_nodes() const;
   /// Total objects ever stored (including tombstoned ones).
-  uint32_t size() const { return data_.size(); }
+  uint32_t size() const;
   /// Objects alive (not tombstoned).
-  uint32_t alive_size() const { return alive_count_; }
+  uint32_t alive_size() const;
   /// Entries currently in the streaming-update cache table.
-  uint32_t cache_size() const { return cache_.size(); }
+  uint32_t cache_size() const;
   /// Full reconstructions performed since construction.
-  uint64_t rebuild_count() const { return rebuild_count_; }
-  /// Whether object `id` is alive.
-  bool IsAlive(uint32_t id) const { return alive_[id] != 0; }
+  uint64_t rebuild_count() const;
+  /// Whether object `id` is alive (in the current version).
+  bool IsAlive(uint32_t id) const;
 
   /// Index storage footprint: node list + table list + cache table
   /// (excluding the dataset payload).
   uint64_t IndexBytes() const;
   /// Device-resident bytes including the dataset payload.
-  uint64_t DeviceResidentBytes() const { return resident_bytes_; }
+  uint64_t DeviceResidentBytes() const;
 
-  /// The indexed dataset (grows in place under streaming updates).
-  const Dataset& data() const { return data_; }
+  /// Data kind of the indexed corpus. Immutable for the index's lifetime
+  /// (updates must insert compatible objects), so callers may validate
+  /// incoming queries against it with no synchronization at all — the
+  /// serve layers do exactly that off their dispatcher threads.
+  DataKind data_kind() const { return data_kind_; }
+  /// Dimensionality of the indexed corpus (0 for non-vector kinds).
+  /// Immutable, like data_kind().
+  uint32_t data_dim() const { return data_dim_; }
+  /// Whether `d`'s objects could be inserted into / queried against this
+  /// index. Equivalent to Dataset::CompatibleWith on the indexed corpus,
+  /// but reads only the immutable kind/dim — safe with zero sync.
+  bool CompatibleData(const Dataset& d) const {
+    return d.kind() == data_kind_ && d.dim() == data_dim_;
+  }
+
+  // Reference accessors into the current version. The returned
+  // references/spans are valid until the next update call publishes a new
+  // version; callers needing stability under concurrent updates must hold
+  // a ReadSnapshot for the duration instead (tests and single-threaded
+  // tools use these directly).
+
+  /// The indexed dataset of the current version.
+  const Dataset& data() const;
   /// The simulated device the index charges kernel time to.
   gpu::Device* device() const { return device_; }
   /// Node `id` of the contiguous node list (1-based).
-  const GtsNode& node(uint64_t id) const { return node_list_[id]; }
+  const GtsNode& node(uint64_t id) const;
   /// The table list's object column (leaf object ids, by node slot).
-  std::span<const uint32_t> table_objects() const { return tl_object_; }
+  std::span<const uint32_t> table_objects() const;
   /// The table list's distance column (d(object, parent pivot)).
-  std::span<const float> table_dis() const { return tl_dis_; }
+  std::span<const float> table_dis() const;
 
   /// Snapshot of the aggregate query counters (accumulated atomically
   /// across all concurrent query calls since the last reset).
@@ -299,9 +343,59 @@ class GtsIndex {
   /// Zeroes the aggregate query counters.
   void ResetQueryStats();
 
+  // --- Test hooks -------------------------------------------------------
+
+  /// Acquires the writer mutex and returns the lock, stalling every update
+  /// strategy until it is released. Reads must still complete while it is
+  /// held — tests/gts_snapshot_test.cc holds it across a full query batch
+  /// to prove the read path never touches the writer lock.
+  std::unique_lock<std::mutex> LockWriterForTest() { return std::unique_lock(writer_mu_); }
+
+  /// Superseded versions handed to the epoch domain since construction.
+  uint64_t versions_retired() const { return epoch_.retired_count(); }
+  /// Superseded versions actually freed (release of the last guard that
+  /// could observe a version makes it reclaimable).
+  uint64_t versions_reclaimed() const { return epoch_.reclaimed_count(); }
+
  private:
-  GtsIndex(Dataset data, const DistanceMetric* metric, gpu::Device* device,
-           const GtsOptions& options);
+  GtsIndex(const DistanceMetric* metric, gpu::Device* device,
+           const GtsOptions& options, DataKind data_kind, uint32_t data_dim);
+
+  // --- Versioned state ---------------------------------------------------
+  // Everything a query reads is bundled into an immutable Version behind
+  // `current_`. Components are individually shared_ptr'd so an update can
+  // copy only what it touches (an Insert shares the tree tables of its
+  // predecessor; a Remove shares the dataset). The flat GPU-table layout
+  // makes the tree one component — per-node copy-on-write would degenerate
+  // to copying the contiguous tables anyway.
+
+  /// The tree: contiguous node list (1-based; slot 0 unused) + table list.
+  struct TreeTables {
+    std::vector<GtsNode> node_list;
+    std::vector<uint32_t> tl_object;
+    std::vector<float> tl_dis;
+    uint32_t height = 1;
+    uint32_t indexed_count = 0;  ///< objects covered by the tree
+  };
+
+  /// Liveness and tombstone accounting.
+  struct Liveness {
+    std::vector<uint8_t> alive;
+    uint32_t alive_count = 0;
+    uint32_t tombstones_in_tree = 0;
+  };
+
+  /// One immutable published state of the index. Readers hold it via an
+  /// epoch guard; the writer retires it when a successor is published.
+  struct Version {
+    std::shared_ptr<const Dataset> data;
+    std::shared_ptr<const TreeTables> tree;
+    std::shared_ptr<const Liveness> live;
+    std::shared_ptr<const CacheList> cache;
+    uint64_t rebuild_count = 0;
+    uint64_t resident_bytes = 0;  ///< device reservation backing this version
+    uint64_t version_id = 0;      ///< monotonically increasing publication id
+  };
 
   /// A frontier element of the level-synchronous search: `node` (at the
   /// current layer) must still be examined for `query`; `parent_dq` carries
@@ -312,24 +406,38 @@ class GtsIndex {
     float parent_dq;
   };
 
-  /// Per-call scratch of one batched query: its counters, the
-  /// approximate-mode candidate budget, and a private simulated-time
-  /// accumulator. Everything a query mutates lives here (or in
-  /// function-local buffers), which is what makes the read path const and
-  /// data-race-free. Every kernel the call runs charges the context clock;
-  /// AccumulateStats folds the total into the shared device clock as a
-  /// concurrent sub-timeline (SimClock::MergeConcurrent), so overlapping
-  /// query calls model parallel device occupancy (max) instead of
-  /// over-charging the shared clock with their sum.
+  /// Per-call scratch of one batched query: the pinned version it runs
+  /// against, its counters, the approximate-mode candidate budget, and a
+  /// private simulated-time accumulator. Everything a query mutates lives
+  /// here (or in function-local buffers), and everything it reads hangs
+  /// off the immutable version, which together make the read path const,
+  /// lock-free and data-race-free. Every kernel the call runs charges the
+  /// context clock; AccumulateStats folds the total into the shared device
+  /// clock as a concurrent sub-timeline (SimClock::MergeConcurrent), so
+  /// overlapping query calls model parallel device occupancy (max) instead
+  /// of over-charging the shared clock with their sum.
   struct QueryContext {
-    explicit QueryContext(const gpu::Device& device)
-        : clock(device.clock().config()),
+    QueryContext(const gpu::Device& device, const Version& version)
+        : v(&version),
+          clock(device.clock().config()),
           start_ns(device.clock().ElapsedNs()) {}
 
+    const Version* v;  ///< the version this call runs against
     GtsQueryStats stats;
     double candidate_fraction = 1.0;  ///< leaf-verification budget (1 = exact)
     gpu::SimClock clock;              ///< this call's elapsed accumulator
     double start_ns = 0.0;  ///< shared-clock reading at call start
+
+    // Shorthands over the pinned version.
+    const Dataset& data() const { return *v->data; }
+    const GtsNode& node(uint64_t id) const { return v->tree->node_list[id]; }
+    std::span<const uint32_t> tl_object() const { return v->tree->tl_object; }
+    std::span<const float> tl_dis() const { return v->tree->tl_dis; }
+    std::span<const uint8_t> alive() const { return v->live->alive; }
+    const CacheList& cache() const { return *v->cache; }
+    uint32_t height() const { return v->tree->height; }
+    uint32_t indexed_count() const { return v->tree->indexed_count; }
+    uint64_t resident_bytes() const { return v->resident_bytes; }
   };
 
   /// Per-query running top-k state for MkNNQ (deduplicated by object id so
@@ -345,18 +453,27 @@ class GtsIndex {
   };
 
   // builder.cc ------------------------------------------------------------
-  /// (Re)constructs the tree over the given object ids (Algorithms 1-3).
-  Status BuildTreeOver(std::vector<uint32_t> ids);
-  void MapLevel(uint32_t layer, Rng* rng);        // Algorithm 2
-  Status PartitionLevel(uint32_t layer);          // Algorithm 3
-  uint32_t SelectPivotFft(uint64_t node_id, Rng* rng);
+  // The builder writes only into `out` and per-call scratch (plus the
+  // thread-safe device clock and metric counters), so a rebuild can run
+  // beside live readers of the published version.
+  /// (Re)constructs the tree over the given object ids (Algorithms 1-3)
+  /// into `out`. `rebuild_seq` varies the FFT root-pivot seed per rebuild.
+  Status BuildTreeOver(const Dataset& data, std::vector<uint32_t> ids,
+                       uint64_t rebuild_seq, TreeTables* out) const;
+  void MapLevel(const Dataset& data, uint32_t layer, Rng* rng,
+                TreeTables* t) const;                        // Algorithm 2
+  Status PartitionLevel(uint32_t layer, TreeTables* t) const;  // Algorithm 3
+  uint32_t SelectPivotFft(const Dataset& data, const TreeTables& t,
+                          uint64_t node_id, Rng* rng) const;
 
   // search_range.cc ---------------------------------------------------
-  /// Query bodies shared by the locked public entry points and the
-  /// ReadSnapshot view; the caller must hold `mu_` (shared or exclusive).
-  Result<RangeResults> RangeQueryBatchUnlocked(const Dataset& queries,
-                                               std::span<const float> radii,
-                                               GtsQueryStats* stats_out) const;
+  /// Query bodies shared by the public entry points and the ReadSnapshot
+  /// view; `v` is the pinned version the call runs against (the caller
+  /// guarantees it stays alive, via an epoch guard).
+  Result<RangeResults> RangeQueryBatchOn(const Version& v,
+                                         const Dataset& queries,
+                                         std::span<const float> radii,
+                                         GtsQueryStats* stats_out) const;
   Status RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                     const Dataset& queries, std::span<const float> radii,
                     RangeResults* out, QueryContext* ctx) const;
@@ -367,11 +484,10 @@ class GtsIndex {
                         RangeResults* out, QueryContext* ctx) const;
 
   // search_knn.cc -------------------------------------------------------
-  /// See RangeQueryBatchUnlocked; candidate_fraction = 1.0 is the exact
-  /// query.
-  Result<KnnResults> KnnQueryBatchUnlocked(const Dataset& queries, uint32_t k,
-                                           double candidate_fraction,
-                                           GtsQueryStats* stats_out) const;
+  /// See RangeQueryBatchOn; candidate_fraction = 1.0 is the exact query.
+  Result<KnnResults> KnnQueryBatchOn(const Version& v, const Dataset& queries,
+                                     uint32_t k, double candidate_fraction,
+                                     GtsQueryStats* stats_out) const;
   Result<KnnResults> KnnQueryBatchImpl(const Dataset& queries, uint32_t k,
                                        QueryContext* ctx) const;
   Status KnnLevel(std::span<const Entry> frontier, uint32_t layer,
@@ -384,16 +500,31 @@ class GtsIndex {
 
   /// Frontier-entry budget for `layer` (paper §5.1):
   /// size_GPU / ((h - layer + 1) * Nc), expressed in entries.
-  uint64_t LevelEntryLimit(uint32_t layer) const;
+  uint64_t LevelEntryLimit(uint32_t layer, const QueryContext& ctx) const;
   /// Splits a frontier (sorted by query) into groups of whole queries whose
   /// expansion fits the limit. Returns [begin, end) offsets.
   std::vector<std::pair<size_t, size_t>> GroupFrontier(
       std::span<const Entry> frontier, uint64_t limit_entries) const;
 
   // gts.cc ----------------------------------------------------------------
-  Status UpdateResidentBytes();
-  /// Rebuild body; the caller must hold `mu_` exclusively.
-  Status RebuildLocked();
+  /// Pins the current version (the caller must hold an epoch guard or the
+  /// writer mutex for the returned reference to stay valid).
+  const Version& Current() const {
+    return *current_.load(std::memory_order_seq_cst);
+  }
+  /// Index footprint of one version (node list + table list + cache).
+  static uint64_t IndexBytesOf(const Version& v);
+  /// Recomputes `v`'s device residency, adjusts the device reservation by
+  /// the delta from the previous version, and stamps v->resident_bytes.
+  /// Caller holds the writer mutex.
+  Status UpdateResidentBytes(Version* v);
+  /// Rebuilds `v`'s tree over its alive objects (build-beside: readers of
+  /// the published version are untouched), resets its tombstone count and
+  /// empties its cache. Caller holds the writer mutex.
+  Status RebuildVersion(Version* v) const;
+  /// Publishes `next` as the current version and retires the predecessor
+  /// through the epoch domain. Caller holds the writer mutex.
+  void Publish(std::unique_ptr<Version> next);
   /// Completes one query call: folds its counters into the atomic
   /// aggregate, merges its private clock into the shared device clock as a
   /// concurrent sub-timeline, and copies the counters to `stats_out` when
@@ -402,39 +533,35 @@ class GtsIndex {
   float QueryObjectDistance(const Dataset& queries, uint32_t q, uint32_t id,
                             QueryContext* ctx) const {
     ++ctx->stats.distance_computations;
-    return metric_->Distance(queries, q, data_, id);
+    return metric_->Distance(queries, q, ctx->data(), id);
   }
 
-  Dataset data_;
   const DistanceMetric* metric_;
   gpu::Device* device_;
   GtsOptions options_;
+  DataKind data_kind_;  ///< immutable corpus kind (see data_kind())
+  uint32_t data_dim_;   ///< immutable corpus dimensionality
 
-  // The tree: contiguous node list (1-based; slot 0 unused) + table list.
-  std::vector<GtsNode> node_list_;
-  std::vector<uint32_t> tl_object_;
-  std::vector<float> tl_dis_;
-  uint32_t height_ = 1;
-  uint32_t indexed_count_ = 0;  ///< objects covered by the tree
-
-  // Liveness and streaming-update state.
-  std::vector<uint8_t> alive_;
-  uint32_t alive_count_ = 0;
-  uint32_t tombstones_in_tree_ = 0;
-  CacheList cache_;
-  uint64_t rebuild_count_ = 0;
-
+  // Concurrency control (see the file comment): `current_` is the
+  // published version, `epoch_` reclaims superseded ones, and `writer_mu_`
+  // serializes the update strategies against each other — never against
+  // readers. Invariants:
+  //   - `current_` only changes under `writer_mu_`, via Publish().
+  //   - A Version reachable from `current_` is immutable forever; writers
+  //     build successors beside it and swap, so readers need no fences
+  //     beyond the seq_cst pointer load their epoch guard brackets.
+  //   - A superseded version is retired, never deleted in place; the
+  //     epoch domain frees it after the last straddling guard releases.
+  //   - `resident_bytes_` and `next_version_id_` are writer-owned (guarded
+  //     by `writer_mu_`); per-version copies serve the read path.
+  // The aggregate stats are relaxed atomics so concurrent (const) queries
+  // can fold their counters in lock-free.
+  std::atomic<const Version*> current_{nullptr};
+  mutable epoch::Domain epoch_;
+  std::mutex writer_mu_;
+  uint64_t next_version_id_ = 1;
   uint64_t resident_bytes_ = 0;  ///< current device reservation
 
-  // Concurrency control: queries and SaveTo hold `mu_` shared; the update
-  // strategies hold it exclusive. std::shared_mutex makes no fairness
-  // guarantee, so a saturating stream of overlapping readers can delay a
-  // writer unboundedly — acceptable for batch-oriented serving (shards
-  // drain between batches); latency-fair admission is a serve-layer
-  // concern (see ROADMAP "Serving depth"). The aggregate stats are relaxed
-  // atomics so concurrent (const) queries can fold their counters in
-  // lock-free.
-  mutable std::shared_mutex mu_;
   mutable std::atomic<uint64_t> stat_distances_{0};
   mutable std::atomic<uint64_t> stat_nodes_{0};
   mutable std::atomic<uint64_t> stat_objects_{0};

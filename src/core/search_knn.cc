@@ -5,6 +5,9 @@
 // value is the pruning bound of Lemma 5.2. The running top-k deduplicates by
 // object id (a pivot is re-seen when its leaf is verified) and skips
 // tombstoned objects, both required for exactness.
+//
+// Like the range query, the descent reads only through the QueryContext's
+// pinned version — lock-free, and unperturbed by concurrent updates.
 
 #include <algorithm>
 #include <cassert>
@@ -51,24 +54,25 @@ Result<KnnResults> GtsIndex::KnnQueryBatchApprox(const Dataset& queries,
                                                  uint32_t k,
                                                  double candidate_fraction,
                                                  GtsQueryStats* stats_out) const {
-  std::shared_lock lock(mu_);
-  return KnnQueryBatchUnlocked(queries, k, candidate_fraction, stats_out);
+  epoch::Guard guard(&epoch_);  // pin BEFORE the version load
+  return KnnQueryBatchOn(Current(), queries, k, candidate_fraction, stats_out);
 }
 
 Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries, uint32_t k,
                                            GtsQueryStats* stats_out) const {
-  std::shared_lock lock(mu_);
-  return KnnQueryBatchUnlocked(queries, k, /*candidate_fraction=*/1.0,
-                               stats_out);
+  epoch::Guard guard(&epoch_);  // pin BEFORE the version load
+  return KnnQueryBatchOn(Current(), queries, k, /*candidate_fraction=*/1.0,
+                         stats_out);
 }
 
-Result<KnnResults> GtsIndex::KnnQueryBatchUnlocked(
-    const Dataset& queries, uint32_t k, double candidate_fraction,
-    GtsQueryStats* stats_out) const {
+Result<KnnResults> GtsIndex::KnnQueryBatchOn(const Version& v,
+                                             const Dataset& queries, uint32_t k,
+                                             double candidate_fraction,
+                                             GtsQueryStats* stats_out) const {
   if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
     return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
   }
-  QueryContext ctx(*device_);
+  QueryContext ctx(*device_, v);
   ctx.candidate_fraction = candidate_fraction;
   auto result = KnnQueryBatchImpl(queries, k, &ctx);
   AccumulateStats(ctx, stats_out);
@@ -78,7 +82,7 @@ Result<KnnResults> GtsIndex::KnnQueryBatchUnlocked(
 Result<KnnResults> GtsIndex::KnnQueryBatchImpl(const Dataset& queries,
                                                uint32_t k,
                                                QueryContext* ctx) const {
-  if (!queries.CompatibleWith(data_)) {
+  if (!queries.CompatibleWith(ctx->data())) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
   KnnResults out(queries.size());
@@ -87,7 +91,7 @@ Result<KnnResults> GtsIndex::KnnQueryBatchImpl(const Dataset& queries,
   std::vector<KnnState> states(queries.size());
   for (auto& s : states) s.k = k;
 
-  if (indexed_count_ > 0) {
+  if (ctx->indexed_count() > 0) {
     std::vector<Entry> frontier;
     frontier.reserve(queries.size());
     for (uint32_t q = 0; q < queries.size(); ++q) {
@@ -108,13 +112,13 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
                           std::vector<KnnState>* states,
                           QueryContext* ctx) const {
   if (frontier.empty()) return Status::Ok();
-  if (layer == height_) {
+  if (layer == ctx->height()) {
     VerifyKnnLeaves(frontier, queries, states, ctx);
     return Status::Ok();
   }
 
   const uint32_t nc = options_.node_capacity;
-  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
+  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer, *ctx));
   ctx->stats.query_groups += groups.size();
 
   for (const auto& [begin, end] : groups) {
@@ -131,9 +135,9 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
     {
       gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
-        const GtsNode& node = node_list_[group[i].node];
+        const GtsNode& node = ctx->node(group[i].node);
         dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot, ctx);
-        if (alive_[node.pivot]) {
+        if (ctx->alive()[node.pivot]) {
           (*states)[group[i].query].Offer(node.pivot, dq[i]);
         }
       }
@@ -149,7 +153,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
       const float bound = (*states)[group[i].query].Bound();
       for (uint32_t j = 0; j < nc; ++j) {
         const uint64_t cid = ChildNodeId(group[i].node, j, nc);
-        const GtsNode& child = node_list_[cid];
+        const GtsNode& child = ctx->node(cid);
         if (child.size == 0) continue;
         if (dq[i] - child.max_dis > bound || child.min_dis - dq[i] > bound) {
           continue;
@@ -171,6 +175,10 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
                                const Dataset& queries,
                                std::vector<KnnState>* states,
                                QueryContext* ctx) const {
+  const std::span<const float> tl_dis = ctx->tl_dis();
+  const std::span<const uint32_t> tl_object = ctx->tl_object();
+  const std::span<const uint8_t> alive = ctx->alive();
+
   // Two-kernel leaf verification (Algorithm 5's "select the current best k
   // to derive the narrowed bound, then prune"): kernel A verifies each
   // query's first surviving leaf to seed the k-bound; kernel B filters the
@@ -186,7 +194,7 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
       continue;
     }
     const auto ring_gap = [&](size_t fi) {
-      const GtsNode& leaf = node_list_[frontier[fi].node];
+      const GtsNode& leaf = ctx->node(frontier[fi].node);
       if (frontier[fi].parent_dq < leaf.min_dis) {
         return leaf.min_dis - frontier[fi].parent_dq;
       }
@@ -209,11 +217,11 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
     for (const size_t i : seed_entry) {
       if (i == SIZE_MAX) continue;
       const Entry& e = frontier[i];
-      const GtsNode& leaf = node_list_[e.node];
+      const GtsNode& leaf = ctx->node(e.node);
       seed_scanned += leaf.size;
       for (uint32_t j = 0; j < leaf.size; ++j) {
-        const uint32_t id = tl_object_[leaf.pos + j];
-        if (!alive_[id]) continue;
+        const uint32_t id = tl_object[leaf.pos + j];
+        if (!alive[id]) continue;
         (*states)[e.query].Offer(
             id, QueryObjectDistance(queries, e.query, id, ctx));
       }
@@ -234,16 +242,16 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
   for (size_t fi = 0; fi < frontier.size(); ++fi) {
     const Entry& e = frontier[fi];
     if (seed_entry[e.query] == fi) continue;  // already verified
-    const GtsNode& leaf = node_list_[e.node];
+    const GtsNode& leaf = ctx->node(e.node);
     const bool has_parent = e.node != 1;
     const float bound = (*states)[e.query].Bound();
     scanned += leaf.size;
     for (uint32_t j = 0; j < leaf.size; ++j) {
       const uint32_t idx = leaf.pos + j;
       const float gap =
-          has_parent ? std::fabs(tl_dis_[idx] - e.parent_dq) : 0.0f;
+          has_parent ? std::fabs(tl_dis[idx] - e.parent_dq) : 0.0f;
       if (gap > bound) continue;
-      if (!alive_[tl_object_[idx]]) continue;
+      if (!alive[tl_object[idx]]) continue;
       candidates.push_back(Candidate{e.query, idx, gap});
     }
   }
@@ -288,7 +296,7 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
       --budget[c.query];
     }
     if (c.gap > (*states)[c.query].Bound()) continue;
-    const uint32_t id = tl_object_[c.idx];
+    const uint32_t id = tl_object[c.idx];
     (*states)[c.query].Offer(
         id, QueryObjectDistance(queries, c.query, id, ctx));
   }
@@ -297,8 +305,9 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
 void GtsIndex::SearchCacheKnn(const Dataset& queries,
                               std::vector<KnnState>* states,
                               QueryContext* ctx) const {
-  if (cache_.empty()) return;
-  const auto ids = cache_.ids();
+  const CacheList& cache = ctx->cache();
+  if (cache.empty()) return;
+  const auto ids = cache.ids();
   gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());

@@ -6,6 +6,10 @@
 // are split into groups processed sequentially to completion — the paper's
 // two-stage strategy that avoids the memory deadlock of fixed-buffer
 // GPU indexes.
+//
+// The whole descent reads exclusively through the QueryContext's pinned
+// version: no index member is touched, so the call is lock-free and immune
+// to concurrent updates (which publish new versions, never mutate this one).
 
 #include <algorithm>
 #include <cassert>
@@ -20,11 +24,12 @@ namespace {
 constexpr float kNoParent = std::numeric_limits<float>::quiet_NaN();
 }  // namespace
 
-uint64_t GtsIndex::LevelEntryLimit(uint32_t layer) const {
+uint64_t GtsIndex::LevelEntryLimit(uint32_t layer,
+                                   const QueryContext& ctx) const {
   const uint64_t mem = device_->memory_bytes();
-  const uint64_t resident = std::min(resident_bytes_, mem);
+  const uint64_t resident = std::min(ctx.resident_bytes(), mem);
   const uint64_t avail = mem - resident;
-  const uint64_t denom = static_cast<uint64_t>(height_ - layer + 1) *
+  const uint64_t denom = static_cast<uint64_t>(ctx.height() - layer + 1) *
                          options_.node_capacity * sizeof(Entry);
   return std::max<uint64_t>(avail / std::max<uint64_t>(denom, 1), 1);
 }
@@ -58,22 +63,22 @@ std::vector<std::pair<size_t, size_t>> GtsIndex::GroupFrontier(
 Result<RangeResults> GtsIndex::RangeQueryBatch(
     const Dataset& queries, std::span<const float> radii,
     GtsQueryStats* stats_out) const {
-  std::shared_lock lock(mu_);
-  return RangeQueryBatchUnlocked(queries, radii, stats_out);
+  epoch::Guard guard(&epoch_);  // pin BEFORE the version load
+  return RangeQueryBatchOn(Current(), queries, radii, stats_out);
 }
 
-Result<RangeResults> GtsIndex::RangeQueryBatchUnlocked(
-    const Dataset& queries, std::span<const float> radii,
+Result<RangeResults> GtsIndex::RangeQueryBatchOn(
+    const Version& v, const Dataset& queries, std::span<const float> radii,
     GtsQueryStats* stats_out) const {
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
-  if (!queries.CompatibleWith(data_)) {
+  if (!queries.CompatibleWith(*v.data)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
-  QueryContext ctx(*device_);
+  QueryContext ctx(*device_, v);
   RangeResults out(queries.size());
-  if (indexed_count_ > 0) {
+  if (ctx.indexed_count() > 0) {
     std::vector<Entry> frontier;
     frontier.reserve(queries.size());
     for (uint32_t q = 0; q < queries.size(); ++q) {
@@ -92,13 +97,13 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                             std::span<const float> radii, RangeResults* out,
                             QueryContext* ctx) const {
   if (frontier.empty()) return Status::Ok();
-  if (layer == height_) {
+  if (layer == ctx->height()) {
     VerifyRangeLeaves(frontier, queries, radii, out, ctx);
     return Status::Ok();
   }
 
   const uint32_t nc = options_.node_capacity;
-  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer));
+  const auto groups = GroupFrontier(frontier, LevelEntryLimit(layer, *ctx));
   ctx->stats.query_groups += groups.size();
 
   for (const auto& [begin, end] : groups) {
@@ -117,7 +122,7 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
       gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
       for (size_t i = 0; i < group.size(); ++i) {
         dq[i] = QueryObjectDistance(queries, group[i].query,
-                                    node_list_[group[i].node].pivot, ctx);
+                                    ctx->node(group[i].node).pivot, ctx);
       }
     }
     ctx->stats.nodes_visited += group.size();
@@ -128,7 +133,7 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
       const float r = radii[group[i].query];
       for (uint32_t j = 0; j < nc; ++j) {
         const uint64_t cid = ChildNodeId(group[i].node, j, nc);
-        const GtsNode& child = node_list_[cid];
+        const GtsNode& child = ctx->node(cid);
         if (child.size == 0) continue;
         if (dq[i] + r < child.min_dis || dq[i] - r > child.max_dis) continue;
         buf[emitted++] =
@@ -149,19 +154,23 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
                                  const Dataset& queries,
                                  std::span<const float> radii,
                                  RangeResults* out, QueryContext* ctx) const {
+  const std::span<const float> tl_dis = ctx->tl_dis();
+  const std::span<const uint32_t> tl_object = ctx->tl_object();
+  const std::span<const uint8_t> alive = ctx->alive();
+
   // Phase 1: pivot filter via the stored leaf column (Lemma 5.1 with the
   // leaf parent's pivot), skipping tombstoned objects.
   std::vector<std::pair<uint32_t, uint32_t>> candidates;  // (query, table idx)
   uint64_t scanned = 0;
   for (const Entry& e : frontier) {
-    const GtsNode& leaf = node_list_[e.node];
+    const GtsNode& leaf = ctx->node(e.node);
     const float r = radii[e.query];
     const bool has_parent = e.node != 1;
     scanned += leaf.size;
     for (uint32_t j = 0; j < leaf.size; ++j) {
       const uint32_t idx = leaf.pos + j;
-      if (has_parent && std::fabs(tl_dis_[idx] - e.parent_dq) > r) continue;
-      if (!alive_[tl_object_[idx]]) continue;
+      if (has_parent && std::fabs(tl_dis[idx] - e.parent_dq) > r) continue;
+      if (!alive[tl_object[idx]]) continue;
       candidates.emplace_back(e.query, idx);
     }
   }
@@ -171,7 +180,7 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
   // Phase 2: exact verification of surviving candidates.
   gpu::KernelDistanceScope scope(&ctx->clock, metric_, candidates.size());
   for (const auto& [q, idx] : candidates) {
-    const uint32_t id = tl_object_[idx];
+    const uint32_t id = tl_object[idx];
     const float d = QueryObjectDistance(queries, q, id, ctx);
     if (d <= radii[q]) (*out)[q].push_back(id);
   }
@@ -180,8 +189,9 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
 void GtsIndex::SearchCacheRange(const Dataset& queries,
                                 std::span<const float> radii,
                                 RangeResults* out, QueryContext* ctx) const {
-  if (cache_.empty()) return;
-  const auto ids = cache_.ids();
+  const CacheList& cache = ctx->cache();
+  if (cache.empty()) return;
+  const auto ids = cache.ids();
   gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());

@@ -2,6 +2,8 @@
 // dataset payload, the tree tables, liveness and the cache-table ids.
 // Load() validates the header, the metric kind and every structural size
 // before accepting the file, and re-establishes the device residency.
+// SaveTo serializes one epoch-pinned version, so it is consistent under —
+// and never blocks — concurrent updates.
 
 #include <cstring>
 #include <fstream>
@@ -45,7 +47,8 @@ bool ReadVec(std::istream& in, std::vector<T>* v) {
 }  // namespace
 
 Status GtsIndex::SaveTo(const std::string& path) const {
-  std::shared_lock lock(mu_);  // consistent snapshot vs concurrent updates
+  epoch::Guard guard(&epoch_);  // one consistent version, zero blocking
+  const Version& v = Current();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::InvalidArgument("cannot open " + path);
 
@@ -57,19 +60,19 @@ Status GtsIndex::SaveTo(const std::string& path) const {
   WritePod(out, options_.max_tombstone_fraction);
   WritePod(out, options_.fft_ancestors);
 
-  data_.Serialize(out);
+  v.data->Serialize(out);
 
-  WritePod(out, height_);
-  WritePod(out, indexed_count_);
-  WritePod(out, alive_count_);
-  WritePod(out, tombstones_in_tree_);
-  WritePod(out, rebuild_count_);
-  WriteVec(out, node_list_);
-  WriteVec(out, tl_object_);
-  WriteVec(out, tl_dis_);
-  WriteVec(out, alive_);
-  const std::vector<uint32_t> cache_ids(cache_.ids().begin(),
-                                        cache_.ids().end());
+  WritePod(out, v.tree->height);
+  WritePod(out, v.tree->indexed_count);
+  WritePod(out, v.live->alive_count);
+  WritePod(out, v.live->tombstones_in_tree);
+  WritePod(out, v.rebuild_count);
+  WriteVec(out, v.tree->node_list);
+  WriteVec(out, v.tree->tl_object);
+  WriteVec(out, v.tree->tl_dis);
+  WriteVec(out, v.live->alive);
+  const std::vector<uint32_t> cache_ids(v.cache->ids().begin(),
+                                        v.cache->ids().end());
   WriteVec(out, cache_ids);
 
   out.flush();
@@ -111,39 +114,54 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Load(const std::string& path,
     return Status::Unsupported("metric does not support this data kind");
   }
 
-  std::unique_ptr<GtsIndex> index(
-      new GtsIndex(std::move(data).value(), metric, device, options));
+  // Deserialize the parts, validate them, and only then assemble the
+  // initial version — a corrupt file never installs anything.
+  auto tree = std::make_shared<TreeTables>();
+  auto live = std::make_shared<Liveness>();
+  uint64_t rebuild_count = 0;
   std::vector<uint32_t> cache_ids;
-  if (!ReadPod(in, &index->height_) || !ReadPod(in, &index->indexed_count_) ||
-      !ReadPod(in, &index->alive_count_) ||
-      !ReadPod(in, &index->tombstones_in_tree_) ||
-      !ReadPod(in, &index->rebuild_count_) ||
-      !ReadVec(in, &index->node_list_) || !ReadVec(in, &index->tl_object_) ||
-      !ReadVec(in, &index->tl_dis_) || !ReadVec(in, &index->alive_) ||
-      !ReadVec(in, &cache_ids)) {
+  if (!ReadPod(in, &tree->height) || !ReadPod(in, &tree->indexed_count) ||
+      !ReadPod(in, &live->alive_count) ||
+      !ReadPod(in, &live->tombstones_in_tree) ||
+      !ReadPod(in, &rebuild_count) || !ReadVec(in, &tree->node_list) ||
+      !ReadVec(in, &tree->tl_object) || !ReadVec(in, &tree->tl_dis) ||
+      !ReadVec(in, &live->alive) || !ReadVec(in, &cache_ids)) {
     return Status::InvalidArgument("corrupt index body");
   }
 
   // Structural validation before accepting the file.
-  const uint32_t n = index->data_.size();
-  if (index->alive_.size() != n || index->tl_object_.size() != index->tl_dis_.size() ||
-      index->tl_object_.size() != index->indexed_count_ ||
-      index->indexed_count_ > n || index->alive_count_ > n ||
-      index->node_list_.size() !=
-          TotalNodes(index->height_, options.node_capacity) + 1) {
+  const uint32_t n = data.value().size();
+  if (live->alive.size() != n ||
+      tree->tl_object.size() != tree->tl_dis.size() ||
+      tree->tl_object.size() != tree->indexed_count ||
+      tree->indexed_count > n || live->alive_count > n ||
+      tree->node_list.size() !=
+          TotalNodes(tree->height, options.node_capacity) + 1) {
     return Status::InvalidArgument("index file fails structural validation");
   }
-  for (const uint32_t id : index->tl_object_) {
+  for (const uint32_t id : tree->tl_object) {
     if (id >= n) return Status::InvalidArgument("table list id out of range");
   }
+  auto cache = std::make_shared<CacheList>();
   for (const uint32_t id : cache_ids) {
-    if (id >= n || !index->alive_[id]) {
+    if (id >= n || !live->alive[id]) {
       return Status::InvalidArgument("cache id out of range");
     }
-    index->cache_.Add(id, index->data_.ObjectBytes(id));
+    cache->Add(id, data.value().ObjectBytes(id));
   }
 
-  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes());
+  std::unique_ptr<GtsIndex> index(new GtsIndex(
+      metric, device, options, data.value().kind(), data.value().dim()));
+  auto version = std::make_unique<Version>();
+  version->data = std::make_shared<const Dataset>(std::move(data).value());
+  version->tree = std::move(tree);
+  version->live = std::move(live);
+  version->cache = std::move(cache);
+  version->rebuild_count = rebuild_count;
+  version->version_id = index->next_version_id_++;
+  GTS_RETURN_IF_ERROR(index->UpdateResidentBytes(version.get()));
+  index->current_.store(version.release(), std::memory_order_seq_cst);
+
   // Model the host-to-device upload of the restored index.
   device->clock().ChargeRawNs(
       static_cast<double>(index->resident_bytes_) * gpu::kPcieNsPerByte);

@@ -107,15 +107,15 @@ Result<RangeResults> QueryExecutor::RangeQueryBatch(
   // redundantly: an invalid *empty* batch spawns no shards, so only this
   // layer can return the same status the single-threaded call would; and
   // the radii length must be proven before the per-shard subspan below.
-  // (The unlocked index_->data() read is safe because CompatibleWith only
-  // touches the dataset's immutable kind/dim.)
+  // (CompatibleData reads only the index's immutable kind/dim, so the
+  // check needs no snapshot and cannot race with concurrent updates.)
   if (index_ == nullptr) {
     return Status::InvalidArgument("pool-only executor has no index");
   }
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
-  if (!queries.CompatibleWith(index_->data())) {
+  if (!index_->CompatibleData(queries)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
   RangeResults out(queries.size());
@@ -159,7 +159,7 @@ Result<KnnResults> QueryExecutor::KnnQueryBatchApprox(
   if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
     return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
   }
-  if (!queries.CompatibleWith(index_->data())) {
+  if (!index_->CompatibleData(queries)) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
   KnnResults out(queries.size());

@@ -5,12 +5,13 @@
 // results are byte-identical to the single-threaded RangeQueryBatch /
 // KnnQueryBatch (each query's descent depends only on its own state).
 //
-// Streaming updates may interleave with executor batches: GtsIndex's
-// internal shared/exclusive lock serializes Insert/Remove/BatchUpdate/
-// Rebuild against in-flight shards. Each *shard* observes a consistent
-// snapshot of the index; a multi-shard batch as a whole does not (an update
-// can land between two shards of the same batch). Callers that need a
-// whole batch — or several batches — pinned to one state should query
+// Streaming updates may interleave with executor batches: GtsIndex
+// publishes each update as a new immutable version, and every read pins
+// the version current at its start via an epoch guard — no shard ever
+// blocks on (or is blocked by) a writer. Each *shard* observes one
+// consistent version; a multi-shard batch as a whole does not (an update
+// can publish between two shards of the same batch). Callers that need a
+// whole batch — or several batches — pinned to one version should query
 // through GtsIndex::ReadSnapshot, as the streaming QuerySession
 // (serve/query_session.h) does for each of its flush cycles.
 #ifndef GTS_SERVE_QUERY_EXECUTOR_H_

@@ -139,7 +139,7 @@ std::future<Response> QuerySession::SubmitRead(
   // kind/dim are immutable). An out-of-range factory index arrives here
   // as an empty query dataset.
   const bool valid =
-      read.query.size() == 1 && read.query.CompatibleWith(index_->data()) &&
+      read.query.size() == 1 && index_->CompatibleData(read.query) &&
       (read.kind != PendingRead::Kind::kKnn ||
        (read.candidate_fraction > 0.0 && read.candidate_fraction <= 1.0));
   if (!valid) {
@@ -199,7 +199,6 @@ std::future<Response> QuerySession::SubmitWrite(PendingWrite write) {
                                 : Response{UpdateResult(stopped)});
     return future;
   }
-  write.flushes_at_submit = stats_.flushes;
   writes_.push_back(std::move(write));
   cv_dispatch_.notify_all();
   return future;
@@ -233,19 +232,14 @@ void QuerySession::DispatchLoop() {
     });
     if (stop_ && reads_.empty() && writes_.empty()) return;
 
-    // Writer-fairness gate: with updates queued, run them now unless the
-    // gate still allows read flushes (and there are reads to flush).
-    if (!writes_.empty() &&
-        (reads_.empty() ||
-         flushes_while_writer_waits_ >= options_.reader_flushes_per_writer)) {
+    // Writes first: every queued update is applied, in submission order,
+    // before the next read flush is composed. A queued writer therefore
+    // waits for at most the one flush that was already in flight when it
+    // arrived — and since the index's read path is lock-free, applying it
+    // contends with nothing; in-flight readers keep their pinned versions.
+    if (!writes_.empty()) {
       std::vector<PendingWrite> writes;
       writes.swap(writes_);
-      flushes_while_writer_waits_ = 0;
-      for (const PendingWrite& w : writes) {
-        stats_.max_writer_wait_flushes =
-            std::max(stats_.max_writer_wait_flushes,
-                     stats_.flushes - w.flushes_at_submit);
-      }
       busy_ = true;
       lock.unlock();
       for (PendingWrite& w : writes) RunWriter(&w);
@@ -307,7 +301,6 @@ void QuerySession::DispatchLoop() {
     }
     if (reads_.empty()) flush_now_ = false;
     ++stats_.flushes;
-    if (!writes_.empty()) ++flushes_while_writer_waits_;
     busy_ = true;
     cv_space_.notify_all();  // admission room freed
     lock.unlock();
@@ -363,7 +356,9 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
 
   // Pin one snapshot for the whole cycle: every query of this flush —
   // across groups and shards, on any worker thread — observes the same
-  // index state. Acquired and released on the dispatcher.
+  // index version. The pin is an epoch guard, not a lock: it costs one
+  // CAS, never blocks, and never delays the updates the dispatcher will
+  // apply right after this cycle.
   const GtsIndex::ReadSnapshot snapshot = index_->SnapshotForRead();
 
   struct ShardTask {

@@ -10,11 +10,12 @@
 //
 //  - Dynamic batching: a flush runs when `max_batch` queries are queued or
 //    the oldest queued query has waited `max_wait_micros`, whichever comes
-//    first. A flush cycle pins one GtsIndex::ReadSnapshot, partitions the
-//    coalesced batch into per-(operation, k, fraction) groups, shards the
-//    groups over the executor's worker pool, and resolves every future —
-//    all queries of one flush observe the same index state (cross-batch
-//    snapshot semantics).
+//    first. A flush cycle pins one GtsIndex::ReadSnapshot (an epoch-pinned
+//    immutable version — acquiring it never blocks and never delays an
+//    update), partitions the coalesced batch into per-(operation, k,
+//    fraction) groups, shards the groups over the executor's worker pool,
+//    and resolves every future — all queries of one flush observe the same
+//    index version (cross-batch snapshot semantics).
 //  - Deadline-aware composition: each read submission may carry a
 //    `deadline_micros` target. Under the default earliest-deadline-first
 //    order a flush drains the most-urgent queued queries, not the oldest
@@ -28,12 +29,14 @@
 //    An overflowing submission is either rejected immediately (its future
 //    resolves with kResourceExhausted) or blocks the submitter until
 //    space frees, per `admission`.
-//  - Writer fairness: update work items (Insert/Remove/BatchUpdate/
+//  - Writes-first ordering: update work items (Insert/Remove/BatchUpdate/
 //    Rebuild) are never rejected and cannot starve behind saturating
-//    readers: once a writer is queued, at most `reader_flushes_per_writer`
-//    more read flushes run before the dispatcher stops pinning read
-//    snapshots and applies all queued writers (std::shared_mutex makes no
-//    fairness guarantee of its own — the gate is what bounds writer wait).
+//    readers: the dispatcher applies every queued writer, in submission
+//    order, before composing the next read flush, so a writer waits for at
+//    most the one flush already in flight. No fairness gate is needed —
+//    the index's read path is lock-free (readers pin immutable versions),
+//    so an update never contends with in-flight reads at the index either;
+//    ordering here is purely about when the dispatcher thread gets to it.
 //
 // Per-query results are byte-identical to the corresponding entry of a
 // direct batched call: a query's descent depends only on its own state,
@@ -93,9 +96,6 @@ struct SessionOptions {
   /// Admission bound: queued (not yet flushed) read queries.
   uint32_t max_queue = 1024;
   AdmissionPolicy admission = AdmissionPolicy::kReject;
-  /// Writer-fairness gate: with updates queued, at most this many more
-  /// read flush cycles run before the writers get the index exclusively.
-  uint32_t reader_flushes_per_writer = 1;
   /// Flush composition order; kEdf unless deadline inversion is wanted
   /// for comparison runs (the serve bench's EDF-vs-FIFO phase).
   FlushOrder order = FlushOrder::kEdf;
@@ -121,10 +121,6 @@ struct SessionStats {
   uint64_t flushes = 0;     ///< read flush cycles dispatched
   uint64_t coalesced_batches = 0;  ///< per-(op,k,fraction) groups dispatched
   uint64_t writer_ops = 0;  ///< update work items applied
-  /// Worst number of read flush cycles any writer waited behind; the
-  /// fairness gate bounds this by reader_flushes_per_writer + 1 (one
-  /// in-flight flush plus the gate's allowance).
-  uint64_t max_writer_wait_flushes = 0;
   /// Reads resolved after their requested deadline_micros (deadline-free
   /// reads never count). The answer is still delivered; this is the
   /// scheduling-quality counter the EDF order exists to minimize.
@@ -141,14 +137,10 @@ class QuerySession {
  public:
   /// `index` and `executor` must outlive the session. The executor may be
   /// shared with direct batch callers; session work rides the same pool.
-  /// Portability caveat for sharing: a flush cycle holds the read snapshot
-  /// while its shard tasks queue behind any direct-batch shards, which
-  /// acquire the index's shared lock themselves. On a *writer-preferring*
-  /// shared_mutex a pending update could then wedge every worker behind
-  /// the held snapshot (deadlock). glibc's pthread rwlock — every CI
-  /// target — is reader-preferring, where this cannot happen; on
-  /// writer-preferring platforms (e.g. SRWLOCK), give the session an
-  /// executor of its own.
+  /// Sharing is deadlock-free by construction: a held ReadSnapshot is an
+  /// epoch pin on an immutable version, so shard tasks queued behind
+  /// direct-batch work never wait on a lock the held snapshot excludes —
+  /// the index's read path takes no lock at all.
   QuerySession(GtsIndex* index, QueryExecutor* executor,
                SessionOptions options = {});
   /// Drains all submitted work, then stops the dispatcher.
@@ -167,9 +159,9 @@ class QuerySession {
   // jump the queue, and a read resolved late counts in
   // SessionStats::deadline_missed (it is not cancelled). Updates
   // (Insert/Remove/BatchUpdate/Rebuild) are never rejected; the
-  // dispatcher applies them between read flush cycles, in submission
-  // order, bounded by the writer-fairness gate. `request.tenant` is
-  // ignored — a session serves one index.
+  // dispatcher applies every queued update, in submission order, before
+  // composing the next read flush. `request.tenant` is ignored — a
+  // session serves one index.
 
   std::future<Response> Submit(Request request);
 
@@ -254,7 +246,6 @@ class QuerySession {
     Dataset payload = Dataset::Strings();
     std::vector<uint32_t> removals;
     uint32_t remove_id = 0;
-    uint64_t flushes_at_submit = 0;
     std::promise<Response> promise;
   };
 
@@ -295,7 +286,6 @@ class QuerySession {
   uint64_t queued_deadlines_ = 0; ///< queued reads carrying a deadline
   std::vector<double> latency_ms_;  ///< ring of recent completed-read ms
   size_t latency_next_ = 0;
-  uint64_t flushes_while_writer_waits_ = 0;
   bool flush_now_ = false;
   bool busy_ = false;  ///< dispatcher is mid-flush / mid-write (off-lock)
   bool stop_ = false;

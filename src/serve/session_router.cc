@@ -71,13 +71,13 @@ RouterStats SessionRouter::stats() const {
     t.p50_latency_ms = s.p50_latency_ms;
     t.p95_latency_ms = s.p95_latency_ms;
     {
-      // Snapshot-consistent per-tenant index view — non-blocking, so a
-      // tenant mid-rebuild (exclusive writer lock held for the whole
-      // reconstruction) cannot stall the stats poll; its alive_objects
-      // reads 0 for that sample instead (see TenantStats).
-      if (const auto snapshot = tenant->index->TrySnapshotForRead()) {
-        t.alive_objects = snapshot->alive_size();
-      }
+      // Snapshot-consistent per-tenant index view. Snapshots pin the
+      // current version with an epoch guard, so even a tenant mid-rebuild
+      // (the writer builds a replacement version off to the side) cannot
+      // stall the stats poll.
+      const GtsIndex::ReadSnapshot snapshot =
+          tenant->index->SnapshotForRead();
+      t.alive_objects = snapshot.alive_size();
     }
     out.submitted += t.submitted;
     out.rejected += t.rejected + t.quota_rejected;

@@ -72,9 +72,9 @@ struct TenantStats {
   uint64_t writer_ops = 0;      ///< update work items applied
   double p50_latency_ms = 0.0;  ///< submit→resolve, recent-window median
   double p95_latency_ms = 0.0;
-  /// Snapshot-consistent tenant index size — 0 when an exclusive update
-  /// (rebuild/batch update) was in flight at sampling time: the poll
-  /// never blocks behind a writer (GtsIndex::TrySnapshotForRead).
+  /// Snapshot-consistent tenant index size, read from the version current
+  /// at sampling time. The poll pins an epoch guard — one CAS, never a
+  /// lock — so a tenant mid-rebuild cannot stall it.
   uint64_t alive_objects = 0;
 };
 

@@ -190,7 +190,7 @@ std::future<Response> ShardedFrontend::Submit(Request request) {
     // the header says so.
     for (const auto& session : sessions_) {
       if (!batch->inserts.empty() &&
-          !batch->inserts.CompatibleWith(session->index()->data())) {
+          !session->index()->CompatibleData(batch->inserts)) {
         return ResolvedFuture(ErrorResponse(
             request, Status::InvalidArgument(
                          "inserted objects incompatible with dataset")));

@@ -222,9 +222,8 @@ TEST(ServeRouterEdf, TightDeadlineJumpsLooseBacklog) {
     opts.max_batch = 1;  // one query per flush: composition order observable
     opts.max_wait_micros = 0;
     opts.admission = serve::AdmissionPolicy::kBlock;
-    // A queued writer always preempts reads, so the rebuild below runs
-    // before any read flush regardless of dispatcher wakeup timing.
-    opts.reader_flushes_per_writer = 0;
+    // Queued writers always run before the next read flush, so the rebuild
+    // below applies before any read regardless of dispatcher wakeup timing.
     opts.order = edf ? serve::FlushOrder::kEdf : serve::FlushOrder::kFifo;
     opts.on_flush = [&](std::span<const uint64_t> seqs) {
       std::lock_guard<std::mutex> lock(mu);
@@ -281,7 +280,6 @@ TEST(ServeRouterEdf, AgedDeadlineFreeReadOutranksLaterUrgent) {
   opts.max_batch = 1;
   opts.max_wait_micros = 0;
   opts.admission = serve::AdmissionPolicy::kBlock;
-  opts.reader_flushes_per_writer = 0;
   opts.no_deadline_slack_micros = 2000;
   opts.on_flush = [&](std::span<const uint64_t> seqs) {
     std::lock_guard<std::mutex> lock(mu);

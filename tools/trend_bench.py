@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Trend-diff the current BENCH_*.json files against recent run history.
+
+Usage:
+    trend_bench.py --current DIR --history DIR [--pattern GLOB]
+                   [--threshold 0.15]
+    trend_bench.py --self-test
+
+Where diff_bench.py compares exactly two runs (a checked-in baseline and a
+candidate), this tool looks at a *window*: `--history` holds one
+subdirectory per prior run (e.g. downloaded nightly artifacts, any
+directory names — they are sorted lexicographically, so run-id or
+timestamp names keep chronological order), and every BENCH file in
+`--current` matching `--pattern` is compared against the per-series
+median of that window. That smooths single-night noise: one slow host
+does not move the median, but a real drift does.
+
+Trend output is advisory by design — the exit status is 0 unless the
+inputs are malformed (2). A missing or empty history is NOT an error:
+the first night has nothing to compare against, so the tool prints what
+it would have diffed and exits 0. Hard gating stays with diff_bench.py
+and the checked-in baselines; this tool is the long-horizon drift radar
+(ROADMAP's perf-trajectory-tracking item).
+"""
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+
+SCHEMA = "gts-bench-v1"
+
+
+def load_series(path):
+    """Returns {(name, dataset): record} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    results = {}
+    for record in doc.get("results", []):
+        results[(record["name"], record["dataset"])] = record
+    return results
+
+
+def history_runs(history_dir, basename):
+    """Loads `basename` from every run subdirectory that has it, oldest
+    first. Runs missing the file (an older nightly that predates a bench)
+    are skipped — series sets are allowed to grow over time."""
+    runs = []
+    if not os.path.isdir(history_dir):
+        return runs
+    for run in sorted(os.listdir(history_dir)):
+        path = os.path.join(history_dir, run, basename)
+        if os.path.isfile(path):
+            runs.append((run, load_series(path)))
+    return runs
+
+
+def trend_file(current_path, history_dir, threshold, out=sys.stdout):
+    """Prints the trend table for one BENCH file; returns the number of
+    series drifting beyond the threshold (informational only)."""
+    basename = os.path.basename(current_path)
+    current = load_series(current_path)
+    runs = history_runs(history_dir, basename)
+    print(f"== {basename}: {len(current)} series, "
+          f"{len(runs)} prior run(s)", file=out)
+    if not runs:
+        print("   no history yet — nothing to trend against", file=out)
+        return 0
+
+    drifting = 0
+    for key in sorted(current):
+        name, dataset = key
+        cur = current[key]["throughput_per_min"]
+        window = [r[key]["throughput_per_min"] for _, r in runs if key in r]
+        if not window:
+            print(f"   NEW   {name} [{dataset}]", file=out)
+            continue
+        median = statistics.median(window)
+        if median == 0.0:
+            continue
+        delta = (cur - median) / median
+        marker = "      "
+        if delta <= -threshold:
+            marker = "DOWN  "
+            drifting += 1
+        elif delta >= threshold:
+            marker = "UP    "
+        print(f"   {marker}{name} [{dataset}]: {delta:+.1%} vs "
+              f"median of {len(window)}", file=out)
+    if drifting:
+        print(f"   {drifting} series below the {threshold:.0%} drift "
+              f"threshold (advisory)", file=out)
+    return drifting
+
+
+def self_test():
+    import tempfile
+
+    def write(path, rows):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {"bench": "t", "schema": SCHEMA, "results": [
+            {"name": n, "dataset": "D", "samples": 1, "p50_latency_ms": 1.0,
+             "p95_latency_ms": 2.0, "throughput_per_min": v}
+            for n, v in rows]}
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cur = os.path.join(tmp, "cur")
+        hist = os.path.join(tmp, "hist")
+        write(os.path.join(cur, "BENCH_t.json"),
+              [("a/x", 50.0), ("a/new", 1.0)])
+        # No history: advisory no-op.
+        assert trend_file(os.path.join(cur, "BENCH_t.json"),
+                          hist, 0.15) == 0
+        # Three runs around 100: current 50 is a DOWN drift; the series
+        # absent from history is NEW, not an error.
+        for i, v in enumerate([90.0, 100.0, 110.0]):
+            write(os.path.join(hist, f"run{i}", "BENCH_t.json"),
+                  [("a/x", v)])
+        assert trend_file(os.path.join(cur, "BENCH_t.json"),
+                          hist, 0.15) == 1
+        # Flat current (100 vs median 100) does not drift.
+        write(os.path.join(cur, "BENCH_t.json"), [("a/x", 100.0)])
+        assert trend_file(os.path.join(cur, "BENCH_t.json"),
+                          hist, 0.15) == 0
+    print("trend_bench self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", help="directory with this run's BENCH files")
+    parser.add_argument("--history",
+                        help="directory of per-run subdirectories to trend against")
+    parser.add_argument("--pattern", default="BENCH_*.json",
+                        help="glob for BENCH files inside --current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional drift that flags a series")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current or not args.history:
+        parser.error("--current and --history are required")
+
+    paths = sorted(glob.glob(os.path.join(args.current, args.pattern)))
+    if not paths:
+        print(f"no files matching {args.pattern} under {args.current}")
+        return 0
+    try:
+        for path in paths:
+            trend_file(path, args.history, args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
+        print(f"trend_bench: {e}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
