@@ -36,13 +36,20 @@
 //
 // `--sharded` runs the scatter/gather phase on T-Loc: the corpus
 // partitioned round-robin over 1/2/4 GtsIndex shards behind one
-// serve::ShardedFrontend (shared 8-thread pool), pouring kNN requests
-// through the unified Submit(serve::Request) entry point. Recorded as
-// `gts-serve-shard/...` series: modeled throughput and wall
-// submit→merged-result latency per shard count. The sharded answers are
-// byte-identical to a single index (tests/serve_sharded_test.cc), so this
-// phase measures pure serving-plane cost/scaling; host-dependent,
-// warn-only like the other serve phases.
+// serve::ShardedFrontend (shared 8-thread pool), each shard on its OWN
+// simulated device (Faiss-style multi-GPU composition), pouring kNN
+// request waves through the batched SubmitBatch entry point. Recorded as
+// `gts-serve-shard/...` series: modeled throughput (completed reads over
+// the per-device makespan — the slowest shard clock's delta, which is
+// host-independent: session flushes anchor their device sub-timelines,
+// so host core counts cannot re-serialize the modeled wave), wall
+// submit→merged-result latency per shard count, and the covering-ball
+// planner's pruned fraction as its own series. The sharded answers are
+// byte-identical to a single index (tests/serve_sharded_test.cc,
+// tests/serve_pruned_scatter_test.cc), so this phase measures pure
+// serving-plane cost/scaling. The modeled knn series is a HARD perf gate
+// in CI: shards=4 must not fall below shards=1 (diff_bench.py
+// --require-ratio); the latency columns stay warn-only.
 //
 // `--mvcc` runs the rebuild-storm phase on T-Loc: reader threads repeat
 // range batches directly against the index while a writer thread loops
@@ -699,6 +706,19 @@ void RunShardedCount(const bench::BenchEnv& env, uint32_t num_shards,
   GtsOptions options;
   options.node_capacity = env.Context().gts_node_capacity;
   options.seed = env.Context().seed;
+  // One simulated device PER SHARD — the deployment the frontend models
+  // (Faiss-style multi-GPU composition: each shard owns a card). The
+  // modeled serving time is then the per-device makespan (max over the
+  // shard clocks' deltas), computed below from the clocks directly, so
+  // the series is host-independent: it does not matter how many real
+  // cores interleave the shard sessions' flushes.
+  gpu::DeviceOptions dev_options;
+  dev_options.lanes = env.device->clock().config().lanes;
+  dev_options.ns_per_op = env.device->clock().config().ns_per_op;
+  dev_options.launch_overhead_ns =
+      env.device->clock().config().launch_overhead_ns;
+  dev_options.memory_bytes = env.device->memory_bytes();
+  std::vector<std::unique_ptr<gpu::Device>> devices;
   std::vector<std::unique_ptr<GtsIndex>> owned;
   std::vector<GtsIndex*> shards;
   for (uint32_t s = 0; s < num_shards; ++s) {
@@ -706,8 +726,9 @@ void RunShardedCount(const bench::BenchEnv& env, uint32_t num_shards,
     for (uint32_t g = s; g < env.data.size(); g += num_shards) {
       ids.push_back(g);
     }
+    devices.push_back(std::make_unique<gpu::Device>(dev_options));
     auto built = GtsIndex::Build(env.data.Slice(ids), env.metric.get(),
-                                 env.device.get(), options);
+                                 devices.back().get(), options);
     if (!built.ok()) {
       std::printf("sharded phase: shard %u build failed: %s\n", s,
                   built.status().ToString().c_str());
@@ -736,16 +757,37 @@ void RunShardedCount(const bench::BenchEnv& env, uint32_t num_shards,
     }
   });
 
-  const double sim0 = env.device->clock().ElapsedSeconds();
-  for (uint32_t i = 0; i < kShardReads; ++i) {
+  std::vector<double> dev_sim0(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    dev_sim0[s] = devices[s]->clock().ElapsedSeconds();
+  }
+  // Reads pour in waves of the flush budget through SubmitBatch: the
+  // frontend plans + prunes the whole wave in one pass and lands ONE
+  // batched submission per shard (the batched-scatter path the serving
+  // layer exists for), instead of a lock + wake per read per shard.
+  uint32_t issued = 0;
+  while (issued < kShardReads) {
+    const uint32_t wave = std::min(kShardBatchBudget, kShardReads - issued);
+    std::vector<serve::Request> group;
+    group.reserve(wave);
+    for (uint32_t i = 0; i < wave; ++i) {
+      group.push_back(serve::Request::Knn(
+          queries, (issued + i) % queries.size(), kDefaultK));
+    }
     const auto submitted = ResponseCollector::Clock::now();
-    collector.Add(frontend.Submit(serve::Request::Knn(
-                      queries, i % queries.size(), kDefaultK)),
-                  submitted);
+    auto futures = frontend.SubmitBatch(std::move(group));
+    for (auto& fut : futures) collector.Add(std::move(fut), submitted);
+    issued += wave;
   }
   collector.Finish();
   frontend.Drain();
-  const double sim_delta = env.device->clock().ElapsedSeconds() - sim0;
+  // Per-device makespan: the shard devices run in parallel, so the
+  // modeled serving time of the run is the slowest shard clock's delta.
+  double sim_delta = 0.0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    sim_delta = std::max(
+        sim_delta, devices[s]->clock().ElapsedSeconds() - dev_sim0[s]);
+  }
 
   const double qpm = bench::ThroughputPerMin(
       static_cast<uint32_t>(completed), sim_delta);
@@ -765,19 +807,40 @@ void RunShardedCount(const bench::BenchEnv& env, uint32_t num_shards,
   res.throughput_per_min = qpm;
   bench::GlobalReporter().AddResult(res);
 
-  std::printf("  %7u %14s %12.4f %12.4f   (%llu of %u completed)\n",
+  // The planner's pruned fraction, recorded as its own series so
+  // tools/trend_bench.py can trend it (the trender reads
+  // throughput_per_min, so the fraction is carried in that field —
+  // dimensionless, 0..1).
+  const serve::FrontendStats fstats = frontend.stats();
+  const double fan = static_cast<double>(fstats.scatter_reads) * num_shards;
+  const double pruned_fraction =
+      fan > 0.0 ? static_cast<double>(fstats.pruned_shard_queries) / fan
+                : 0.0;
+  bench::BenchResult pruned;
+  pruned.name = bench::SeriesName(
+      "gts-serve-shard", "pruned-fraction",
+      "shards=" + std::to_string(num_shards) + ",b=" +
+          std::to_string(kShardBatchBudget) + ",threads=" +
+          std::to_string(kShardThreads));
+  pruned.dataset = env.spec->name;
+  pruned.samples = fstats.scatter_reads;
+  pruned.throughput_per_min = pruned_fraction;
+  bench::GlobalReporter().AddResult(pruned);
+
+  std::printf("  %7u %14s %12.4f %12.4f %8.3f   (%llu of %u completed)\n",
               num_shards, bench::FormatThroughput(qpm).c_str(), p50, p95,
+              pruned_fraction,
               static_cast<unsigned long long>(completed), kShardReads);
 }
 
 void RunShardedPhase(const bench::BenchEnv& env) {
   const Dataset queries = SampleQueries(env.data, 64, 5);
-  std::printf("%s sharded (scatter/gather): %u kNN reads via "
-              "Submit(Request), round-robin partition, budget %u, %u "
+  std::printf("%s sharded (pruned scatter/gather): %u kNN reads via "
+              "SubmitBatch, round-robin partition, budget %u, %u "
               "shared threads\n",
               env.spec->name, kShardReads, kShardBatchBudget, kShardThreads);
-  std::printf("  %7s %14s %12s %12s\n", "shards", "knn q/min", "p50 ms",
-              "p95 ms");
+  std::printf("  %7s %14s %12s %12s %8s\n", "shards", "knn q/min", "p50 ms",
+              "p95 ms", "pruned");
   for (const uint32_t num_shards : kShardCounts) {
     RunShardedCount(env, num_shards, queries);
   }

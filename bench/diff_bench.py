@@ -3,13 +3,14 @@
 
 Usage:
     diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
-                  [--warn-only REGEX]
+                  [--warn-only REGEX] [--require-ratio 'A>=B' ...]
     diff_bench.py --self-test
 
 Series are keyed on (name, dataset). Exit status:
     0  no regression
     1  at least one series regressed by more than --threshold (fractional
-       throughput drop), or a baseline series is missing from the candidate
+       throughput drop), a baseline series is missing from the candidate,
+       or a --require-ratio requirement failed
     2  usage / malformed input
 
 Latency growth beyond the threshold is reported as a warning only: the
@@ -19,6 +20,13 @@ Series whose name matches --warn-only (an unanchored regex) are annotated
 but never fail the diff — for host-dependent series (wall-clock or
 scheduling-sensitive numbers, e.g. the `gts-serve-stream/` open-loop
 series) checked in next to deterministic modeled-throughput baselines.
+
+--require-ratio 'A>=B' (repeatable) asserts an intra-candidate invariant:
+for every dataset where series A appears in the CANDIDATE file, series B
+must also appear and A's throughput must be >= B's. It gates relations
+between series of the same run — e.g. "sharded serving at shards=4 must
+beat shards=1" — which a baseline diff cannot express. Requirements are
+always hard: --warn-only never demotes them.
 """
 
 import argparse
@@ -98,24 +106,74 @@ def diff(baseline, candidate, threshold, warn_only=None):
     return regressions, warnings, notes
 
 
-def run_diff(baseline_path, candidate_path, threshold, warn_only=None):
+def parse_ratio(spec):
+    """Splits one --require-ratio spec 'A>=B' into (A, B).
+
+    Raises ValueError on a malformed spec. Series names may themselves
+    contain '=' (config suffixes like '@shards=4'), so only the two-char
+    token '>=' separates the operands, and it must occur exactly once.
+    """
+    parts = spec.split(">=")
+    if len(parts) != 2 or not parts[0].strip() or not parts[1].strip():
+        raise ValueError(f"--require-ratio: expected 'A>=B', got {spec!r}")
+    return parts[0].strip(), parts[1].strip()
+
+
+def check_ratios(candidate, ratios):
+    """Evaluates --require-ratio specs against the candidate result map.
+
+    Returns a list of human-readable failures. For each (A, B) pair: every
+    dataset carrying series A must also carry series B with
+    A.throughput >= B.throughput, and A must appear in at least one
+    dataset (a silently-missing series must not pass the gate).
+    """
+    failures = []
+    for lhs, rhs in ratios:
+        datasets = sorted(ds for (name, ds) in candidate if name == lhs)
+        if not datasets:
+            failures.append(f"{lhs}: series absent from candidate "
+                            f"(required >= {rhs})")
+            continue
+        for ds in datasets:
+            other = candidate.get((rhs, ds))
+            if other is None:
+                failures.append(f"{rhs} [{ds}]: series absent from candidate "
+                                f"(required <= {lhs})")
+                continue
+            a = candidate[(lhs, ds)]["throughput_per_min"]
+            b = other["throughput_per_min"]
+            if a < b:
+                failures.append(
+                    f"{lhs} [{ds}]: throughput {a:.4g} < {b:.4g} ({rhs}), "
+                    f"ratio {a / b if b else float('inf'):.3f} (required >= 1)"
+                )
+    return failures
+
+
+def run_diff(baseline_path, candidate_path, threshold, warn_only=None,
+             require_ratios=()):
     baseline = load_results(baseline_path)
     candidate = load_results(candidate_path)
     pattern = re.compile(warn_only) if warn_only else None
     regressions, warnings, notes = diff(baseline, candidate, threshold,
                                         pattern)
+    requirement_failures = check_ratios(candidate, require_ratios)
     for line in notes:
         print(f"NOTE     {line}")
     for line in warnings:
         print(f"WARNING  {line}")
     for line in regressions:
         print(f"REGRESSION  {line}")
+    for line in requirement_failures:
+        print(f"REQUIREMENT  {line}")
     compared = len(set(baseline) & set(candidate))
     print(
         f"compared {compared} series: {len(regressions)} regression(s), "
-        f"{len(warnings)} latency warning(s), threshold {threshold * 100:.0f}%"
+        f"{len(warnings)} latency warning(s), "
+        f"{len(requirement_failures)} requirement failure(s), "
+        f"threshold {threshold * 100:.0f}%"
     )
-    return 1 if regressions else 0
+    return 1 if regressions or requirement_failures else 0
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +268,55 @@ def self_test():
             0,
         )
 
+        # --require-ratio: intra-candidate ordering between two series.
+        shard = os.path.join(d, "shard.json")
+        write(
+            shard,
+            [
+                _record("shard/knn@shards=4", "T-Loc", 900.0),
+                _record("shard/knn@shards=1", "T-Loc", 700.0),
+            ],
+        )
+        holds = [("shard/knn@shards=4", "shard/knn@shards=1")]
+        violated = [("shard/knn@shards=1", "shard/knn@shards=4")]
+        check("ratio-holds", run_diff(shard, shard, 0.10,
+                                      require_ratios=holds), 0)
+        check("ratio-violated", run_diff(shard, shard, 0.10,
+                                         require_ratios=violated), 1)
+        # A missing operand is a hard failure, on either side.
+        check(
+            "ratio-lhs-missing",
+            run_diff(shard, shard, 0.10,
+                     require_ratios=[("shard/nope", "shard/knn@shards=1")]),
+            1,
+        )
+        check(
+            "ratio-rhs-missing",
+            run_diff(shard, shard, 0.10,
+                     require_ratios=[("shard/knn@shards=4", "shard/nope")]),
+            1,
+        )
+        # warn-only never demotes a requirement failure.
+        check(
+            "ratio-not-demoted",
+            run_diff(shard, shard, 0.10, warn_only=r"shard",
+                     require_ratios=violated),
+            1,
+        )
+        # Spec parsing: config suffixes with '=' survive; junk is rejected.
+        check(
+            "ratio-parse",
+            parse_ratio("a/knn@shards=4,b=32>=a/knn@shards=1,b=32"),
+            ("a/knn@shards=4,b=32", "a/knn@shards=1,b=32"),
+        )
+        for bad_spec in ("no-operator", ">=b", "a>=", "a>=b>=c"):
+            try:
+                parse_ratio(bad_spec)
+                failures.append(f"ratio-bad-spec {bad_spec!r}: "
+                                "expected ValueError")
+            except ValueError:
+                pass
+
         # Latency growth alone: warning, not a failure.
         slow = os.path.join(d, "slow.json")
         write(
@@ -283,6 +390,14 @@ def main(argv):
         help="series names matching this regex are annotated, never failed",
     )
     parser.add_argument(
+        "--require-ratio",
+        metavar="'A>=B'",
+        action="append",
+        default=[],
+        help="require candidate series A's throughput >= series B's on every "
+        "dataset carrying A (repeatable; always a hard failure)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the built-in fixture round-trip suite",
@@ -304,8 +419,13 @@ def main(argv):
             print(f"--warn-only: bad regex: {e}", file=sys.stderr)
             return 2
     try:
+        ratios = [parse_ratio(spec) for spec in args.require_ratio]
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    try:
         return run_diff(args.baseline, args.candidate, args.threshold,
-                        args.warn_only)
+                        args.warn_only, ratios)
     except ValueError as e:
         print(str(e), file=sys.stderr)
         return 2

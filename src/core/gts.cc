@@ -13,6 +13,7 @@
 #include <numeric>
 
 #include "core/gts.h"
+#include "gpu/primitives.h"
 
 namespace gts {
 
@@ -68,9 +69,45 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Build(Dataset data,
   version->live = std::move(live);
   version->cache = std::make_shared<const CacheList>();
   version->version_id = index->next_version_id_++;
+  version->ball = index->ComputeCoveringBall(*version);
   GTS_RETURN_IF_ERROR(index->UpdateResidentBytes(version.get()));
   index->current_.store(version.release(), std::memory_order_seq_cst);
   return index;
+}
+
+CoveringBall GtsIndex::ComputeCoveringBall(const Version& v) const {
+  CoveringBall ball;
+  const Dataset& data = *v.data;
+  const Liveness& live = *v.live;
+  if (live.alive_count == 0) return ball;
+  // The tree's root pivot is central by FFT construction — the tightest
+  // cheap center. A single-level tree's root is a leaf (pivot ==
+  // kInvalidId), and a freshly-loaded empty tree has none: fall back to
+  // the first alive object; the ball only needs to cover, not be minimal.
+  uint32_t pivot = kInvalidId;
+  if (v.tree->indexed_count > 0 && v.tree->node_list.size() > 1) {
+    pivot = v.tree->node_list[1].pivot;
+  }
+  if (pivot == kInvalidId) {
+    for (uint32_t id = 0; id < data.size(); ++id) {
+      if (live.alive[id]) {
+        pivot = id;
+        break;
+      }
+    }
+  }
+  ball.valid = true;
+  ball.pivot = pivot;
+  // One device-wide distance kernel over the alive objects — the same
+  // cost shape as a build level's pivot-distance pass.
+  gpu::KernelDistanceScope scope(&device_->clock(), metric_,
+                                 live.alive_count);
+  for (uint32_t id = 0; id < data.size(); ++id) {
+    if (!live.alive[id]) continue;
+    ball.radius =
+        std::max(ball.radius, metric_->Distance(data, pivot, data, id));
+  }
+  return ball;
 }
 
 uint64_t GtsIndex::IndexBytesOf(const Version& v) {
@@ -117,6 +154,7 @@ GtsQueryStats GtsIndex::query_stats() const {
   s.nodes_visited = stat_nodes_.load(std::memory_order_relaxed);
   s.objects_verified = stat_objects_.load(std::memory_order_relaxed);
   s.query_groups = stat_groups_.load(std::memory_order_relaxed);
+  s.nodes_pruned = stat_pruned_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -125,6 +163,7 @@ void GtsIndex::ResetQueryStats() {
   stat_nodes_.store(0, std::memory_order_relaxed);
   stat_objects_.store(0, std::memory_order_relaxed);
   stat_groups_.store(0, std::memory_order_relaxed);
+  stat_pruned_.store(0, std::memory_order_relaxed);
 }
 
 void GtsIndex::AccumulateStats(const QueryContext& ctx,
@@ -134,6 +173,7 @@ void GtsIndex::AccumulateStats(const QueryContext& ctx,
   stat_nodes_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
   stat_objects_.fetch_add(s.objects_verified, std::memory_order_relaxed);
   stat_groups_.fetch_add(s.query_groups, std::memory_order_relaxed);
+  stat_pruned_.fetch_add(s.nodes_pruned, std::memory_order_relaxed);
   device_->clock().MergeConcurrent(ctx.start_ns, ctx.clock.ElapsedNs(),
                                    ctx.clock.kernels_launched());
   if (stats_out != nullptr) *stats_out = s;
@@ -174,6 +214,11 @@ uint64_t GtsIndex::rebuild_count() const {
 bool GtsIndex::IsAlive(uint32_t id) const {
   epoch::Guard guard(&epoch_);
   return Current().live->alive[id] != 0;
+}
+
+CoveringBall GtsIndex::covering_ball() const {
+  epoch::Guard guard(&epoch_);
+  return Current().ball;
 }
 
 uint64_t GtsIndex::DeviceResidentBytes() const {
@@ -250,23 +295,59 @@ uint64_t GtsIndex::ReadSnapshot::rebuild_count() const {
   return version_->rebuild_count;
 }
 
+CoveringBall GtsIndex::ReadSnapshot::covering_ball() const {
+  return version_->ball;
+}
+
+float GtsIndex::ReadSnapshot::RoutingDistance(const Dataset& queries,
+                                              uint32_t idx,
+                                              uint32_t id) const {
+  // One distance, accounted exactly like a query's own evaluations: a
+  // private sub-timeline merged into the device clock as concurrent work,
+  // plus the aggregate distance counter. Routing probes are real device
+  // work — the pruned scatter must not look free in the modeled numbers.
+  QueryContext ctx(*index_->device_, *version_);
+  if (anchor_ns_ >= 0.0) ctx.start_ns = anchor_ns_;
+  float d = 0.0f;
+  {
+    gpu::KernelDistanceScope scope(&ctx.clock, index_->metric_, 1);
+    d = index_->QueryObjectDistance(queries, idx, id, &ctx);
+  }
+  index_->AccumulateStats(ctx, nullptr);
+  return d;
+}
+
+void GtsIndex::ReadSnapshot::AnchorClock() {
+  anchor_ns_ = index_->device_->clock().ElapsedNs();
+}
+
 Result<RangeResults> GtsIndex::ReadSnapshot::RangeQueryBatch(
     const Dataset& queries, std::span<const float> radii,
     GtsQueryStats* stats_out) const {
-  return index_->RangeQueryBatchOn(*version_, queries, radii, stats_out);
+  return index_->RangeQueryBatchOn(*version_, queries, radii, stats_out,
+                                   anchor_ns_);
 }
 
 Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatch(
     const Dataset& queries, uint32_t k, GtsQueryStats* stats_out) const {
   return index_->KnnQueryBatchOn(*version_, queries, k,
-                                 /*candidate_fraction=*/1.0, stats_out);
+                                 /*candidate_fraction=*/1.0, {}, stats_out,
+                                 anchor_ns_);
+}
+
+Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatchBounded(
+    const Dataset& queries, uint32_t k, std::span<const float> initial_bounds,
+    GtsQueryStats* stats_out) const {
+  return index_->KnnQueryBatchOn(*version_, queries, k,
+                                 /*candidate_fraction=*/1.0, initial_bounds,
+                                 stats_out, anchor_ns_);
 }
 
 Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatchApprox(
     const Dataset& queries, uint32_t k, double candidate_fraction,
     GtsQueryStats* stats_out) const {
   return index_->KnnQueryBatchOn(*version_, queries, k, candidate_fraction,
-                                 stats_out);
+                                 {}, stats_out, anchor_ns_);
 }
 
 // --- Update strategies -----------------------------------------------------
@@ -300,6 +381,19 @@ Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
   next->cache = std::move(cache);
   next->rebuild_count = cur.rebuild_count;
   next->version_id = next_version_id_++;
+
+  // Grow the covering ball incrementally: one distance to the pivot keeps
+  // it exact for inserts (a rebuild below recomputes from scratch anyway).
+  next->ball = cur.ball;
+  if (!next->ball.valid) {
+    next->ball = CoveringBall{true, id, 0.0f};
+  } else {
+    gpu::KernelDistanceScope scope(&device_->clock(), metric_, 1);
+    next->ball.radius =
+        std::max(next->ball.radius,
+                 metric_->Distance(*next->data, next->ball.pivot, *next->data,
+                                   id));
+  }
 
   if (next->cache->bytes() > options_.cache_capacity_bytes) {
     GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
@@ -340,6 +434,9 @@ Status GtsIndex::Remove(uint32_t id) {
   next->cache = std::move(cache);
   next->rebuild_count = cur.rebuild_count;
   next->version_id = next_version_id_++;
+  // The ball stays: removal can only shrink the true covering radius, and
+  // an over-covering ball merely under-prunes (a rebuild re-tightens it).
+  next->ball = cur.ball;
 
   if (rebuild) {
     GTS_RETURN_IF_ERROR(RebuildVersion(next.get()));
@@ -425,6 +522,7 @@ Status GtsIndex::RebuildVersion(Version* v) const {
   live->tombstones_in_tree = 0;  // every alive object is in the new tree
   v->live = std::move(live);
   v->cache = std::make_shared<const CacheList>();  // absorbed into the tree
+  v->ball = ComputeCoveringBall(*v);  // re-tighten after the churn
   return Status::Ok();
 }
 

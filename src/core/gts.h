@@ -80,6 +80,7 @@ struct GtsQueryStats {
   uint64_t nodes_visited = 0;          ///< frontier entries expanded
   uint64_t objects_verified = 0;       ///< leaf objects distance-checked
   uint64_t query_groups = 0;           ///< two-stage groups processed
+  uint64_t nodes_pruned = 0;           ///< children cut by the ring bounds
 
   bool operator==(const GtsQueryStats&) const = default;
   GtsQueryStats& operator+=(const GtsQueryStats& o) {
@@ -87,8 +88,26 @@ struct GtsQueryStats {
     nodes_visited += o.nodes_visited;
     objects_verified += o.objects_verified;
     query_groups += o.query_groups;
+    nodes_pruned += o.nodes_pruned;
     return *this;
   }
+};
+
+/// A ball covering every alive object of one published version: d(pivot,
+/// x) <= radius for all alive x. The pivot is a dataset-resident object id
+/// (the tree's root pivot when there is one), NOT necessarily alive — the
+/// ball only needs to cover. Maintained conservatively: rebuilds and batch
+/// updates recompute it exactly, a streaming insert grows the radius by
+/// one distance, a streaming remove leaves it untouched (over-covering is
+/// safe, it can only under-prune). `valid` is false only when the version
+/// has never held an object. The sharded frontend lifts the paper's
+/// triangle-inequality pruning to the shard level with this:
+/// d(q, pivot) - radius > r proves the shard holds no range hit
+/// (serve/sharded_frontend.h).
+struct CoveringBall {
+  bool valid = false;
+  uint32_t pivot = 0;
+  float radius = 0.0f;
 };
 
 /// The paper's GPU-tree index. See the file comment for the design and the
@@ -137,6 +156,24 @@ class GtsIndex {
   /// corpus merge back byte-identically (serve::ShardedFrontend).
   Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
                                    GtsQueryStats* stats_out = nullptr) const;
+
+  /// KnnQueryBatch with per-query initial pruning bounds: `initial_bounds`
+  /// is empty (no bounds) or holds one non-negative value per query, a
+  /// caller-proven upper bound on that query's k-th nearest distance
+  /// (+inf = none). The descent prunes against min(bound, running k-th)
+  /// instead of the running k-th alone, so a tight bound cuts subtrees and
+  /// leaf candidates the cold-started search would still expand. The
+  /// result contract weakens only beyond the bound: every true top-k
+  /// member with distance <= the bound is present, in canonical (dist, id)
+  /// order; entries with distance > the bound may be missing or replaced
+  /// (by the caller's premise they cannot matter). With +inf bounds the
+  /// result is byte-identical to KnnQueryBatch — all ring/gap comparisons
+  /// are strict, so candidates AT the bound always survive. This is the
+  /// shared cross-shard bound of the sharded frontend's refined scatter
+  /// (serve/sharded_frontend.h).
+  Result<KnnResults> KnnQueryBatchBounded(
+      const Dataset& queries, uint32_t k, std::span<const float> initial_bounds,
+      GtsQueryStats* stats_out = nullptr) const;
 
   /// Approximate MkNNQ (the paper's §7 future-work direction): leaf
   /// verification examines only the best `candidate_fraction` of each
@@ -188,6 +225,12 @@ class GtsIndex {
     /// Batched exact kNN query through the pinned version.
     Result<KnnResults> KnnQueryBatch(const Dataset& queries, uint32_t k,
                                      GtsQueryStats* stats_out = nullptr) const;
+    /// Bounded kNN through the pinned version (GtsIndex::
+    /// KnnQueryBatchBounded).
+    Result<KnnResults> KnnQueryBatchBounded(
+        const Dataset& queries, uint32_t k,
+        std::span<const float> initial_bounds,
+        GtsQueryStats* stats_out = nullptr) const;
     /// Batched approximate kNN query through the pinned version.
     Result<KnnResults> KnnQueryBatchApprox(
         const Dataset& queries, uint32_t k, double candidate_fraction,
@@ -210,6 +253,35 @@ class GtsIndex {
     uint32_t cache_size() const;
     /// Rebuilds the index had performed when this version was published.
     uint64_t rebuild_count() const;
+    /// This version's covering ball (see CoveringBall).
+    CoveringBall covering_ball() const;
+    /// Distance from query object `idx` of `queries` to object `id` of
+    /// the pinned version's dataset — the sharded frontend's shard-routing
+    /// probe against the covering-ball pivot. Charged to the device clock
+    /// as one concurrent single-distance kernel, and counted in the
+    /// aggregate query stats, exactly like a query's own distance
+    /// evaluations. `id` must be < size() (tombstoned ids are fine: the
+    /// dataset keeps their bytes).
+    float RoutingDistance(const Dataset& queries, uint32_t idx,
+                          uint32_t id) const;
+
+    /// Declares every subsequent query through this snapshot part of ONE
+    /// concurrent device dispatch wave: each call's private sub-timeline
+    /// is anchored at the device-clock reading taken HERE, so the wave
+    /// folds into the shared clock as its parallel makespan (max of the
+    /// per-call times) no matter how the host happens to schedule the
+    /// calling threads. Without the anchor each call starts at whatever
+    /// the clock reads when its thread runs — on a host with fewer cores
+    /// than callers the calls serialize in wall time and their modeled
+    /// times SUM, turning a logically concurrent fan-out into a
+    /// host-dependent number. The serving flush cycle (one batch split
+    /// over pool workers) and the sharded frontend's planning probes are
+    /// exactly such waves and anchor their snapshots.
+    ///
+    /// Only anchor calls that really are concurrent: sequential queries
+    /// through an anchored snapshot fold too, under-charging serial work.
+    /// Re-anchor (or use a fresh snapshot) for each successive wave.
+    void AnchorClock();
     /// The underlying index (for identity checks; updates through it are
     /// safe but invisible to this snapshot).
     const GtsIndex* index() const { return index_; }
@@ -221,6 +293,7 @@ class GtsIndex {
     const GtsIndex* index_;
     epoch::Guard guard_;       // pinned BEFORE version_ is loaded
     const Version* version_;
+    double anchor_ns_ = -1.0;  // < 0 = unanchored (see AnchorClock)
   };
 
   /// Pins the current version and returns the read view. Never blocks —
@@ -298,6 +371,8 @@ class GtsIndex {
   uint64_t rebuild_count() const;
   /// Whether object `id` is alive (in the current version).
   bool IsAlive(uint32_t id) const;
+  /// The covering ball of the current version (see CoveringBall).
+  CoveringBall covering_ball() const;
 
   /// Index storage footprint: node list + table list + cache table
   /// (excluding the dataset payload).
@@ -395,6 +470,9 @@ class GtsIndex {
     uint64_t rebuild_count = 0;
     uint64_t resident_bytes = 0;  ///< device reservation backing this version
     uint64_t version_id = 0;      ///< monotonically increasing publication id
+    /// Ball covering every alive object (see CoveringBall); by value —
+    /// it is three words, copy-on-write would cost more than the copy.
+    CoveringBall ball;
   };
 
   /// A frontier element of the level-synchronous search: `node` (at the
@@ -445,9 +523,15 @@ class GtsIndex {
   struct KnnState {
     std::vector<Neighbor> topk;  // ascending by (dist, id), size <= k
     uint32_t k = 0;
+    /// Caller-proven upper bound on the k-th nearest distance (+inf =
+    /// none; see KnnQueryBatchBounded). Tightens Bound() only — Offer()
+    /// never consults it, so the top-k list itself stays exact for every
+    /// candidate the capped descent reaches.
+    float cap = std::numeric_limits<float>::infinity();
     float Bound() const {
-      return topk.size() < k ? std::numeric_limits<float>::infinity()
-                             : topk.back().dist;
+      const float own = topk.size() < k ? std::numeric_limits<float>::infinity()
+                                        : topk.back().dist;
+      return own < cap ? own : cap;
     }
     void Offer(uint32_t id, float dist);
   };
@@ -470,10 +554,13 @@ class GtsIndex {
   /// Query bodies shared by the public entry points and the ReadSnapshot
   /// view; `v` is the pinned version the call runs against (the caller
   /// guarantees it stays alive, via an epoch guard).
+  /// `anchor_ns` >= 0 pins the call's sub-timeline start (see
+  /// ReadSnapshot::AnchorClock); < 0 starts at the current clock reading.
   Result<RangeResults> RangeQueryBatchOn(const Version& v,
                                          const Dataset& queries,
                                          std::span<const float> radii,
-                                         GtsQueryStats* stats_out) const;
+                                         GtsQueryStats* stats_out,
+                                         double anchor_ns = -1.0) const;
   Status RangeLevel(std::span<const Entry> frontier, uint32_t layer,
                     const Dataset& queries, std::span<const float> radii,
                     RangeResults* out, QueryContext* ctx) const;
@@ -484,11 +571,16 @@ class GtsIndex {
                         RangeResults* out, QueryContext* ctx) const;
 
   // search_knn.cc -------------------------------------------------------
-  /// See RangeQueryBatchOn; candidate_fraction = 1.0 is the exact query.
+  /// See RangeQueryBatchOn; candidate_fraction = 1.0 is the exact query,
+  /// `initial_bounds` the per-query pruning caps of KnnQueryBatchBounded
+  /// (empty = none).
   Result<KnnResults> KnnQueryBatchOn(const Version& v, const Dataset& queries,
                                      uint32_t k, double candidate_fraction,
-                                     GtsQueryStats* stats_out) const;
+                                     std::span<const float> initial_bounds,
+                                     GtsQueryStats* stats_out,
+                                     double anchor_ns = -1.0) const;
   Result<KnnResults> KnnQueryBatchImpl(const Dataset& queries, uint32_t k,
+                                       std::span<const float> initial_bounds,
                                        QueryContext* ctx) const;
   Status KnnLevel(std::span<const Entry> frontier, uint32_t layer,
                   const Dataset& queries, std::vector<KnnState>* states,
@@ -519,9 +611,15 @@ class GtsIndex {
   /// Caller holds the writer mutex.
   Status UpdateResidentBytes(Version* v);
   /// Rebuilds `v`'s tree over its alive objects (build-beside: readers of
-  /// the published version are untouched), resets its tombstone count and
-  /// empties its cache. Caller holds the writer mutex.
+  /// the published version are untouched), resets its tombstone count,
+  /// empties its cache and recomputes its covering ball. Caller holds the
+  /// writer mutex.
   Status RebuildVersion(Version* v) const;
+  /// Exact covering ball of `v`'s alive objects: pivot = the tree's root
+  /// pivot (central by FFT construction) or the first alive id, radius =
+  /// one scan of alive distances, charged to the device clock. Caller
+  /// holds the writer mutex (Build/Load: exclusive construction).
+  CoveringBall ComputeCoveringBall(const Version& v) const;
   /// Publishes `next` as the current version and retires the predecessor
   /// through the epoch domain. Caller holds the writer mutex.
   void Publish(std::unique_ptr<Version> next);
@@ -566,6 +664,7 @@ class GtsIndex {
   mutable std::atomic<uint64_t> stat_nodes_{0};
   mutable std::atomic<uint64_t> stat_objects_{0};
   mutable std::atomic<uint64_t> stat_groups_{0};
+  mutable std::atomic<uint64_t> stat_pruned_{0};
 };
 
 }  // namespace gts

@@ -55,33 +55,51 @@ Result<KnnResults> GtsIndex::KnnQueryBatchApprox(const Dataset& queries,
                                                  double candidate_fraction,
                                                  GtsQueryStats* stats_out) const {
   epoch::Guard guard(&epoch_);  // pin BEFORE the version load
-  return KnnQueryBatchOn(Current(), queries, k, candidate_fraction, stats_out);
+  return KnnQueryBatchOn(Current(), queries, k, candidate_fraction, {},
+                         stats_out);
 }
 
 Result<KnnResults> GtsIndex::KnnQueryBatch(const Dataset& queries, uint32_t k,
                                            GtsQueryStats* stats_out) const {
   epoch::Guard guard(&epoch_);  // pin BEFORE the version load
   return KnnQueryBatchOn(Current(), queries, k, /*candidate_fraction=*/1.0,
-                         stats_out);
+                         {}, stats_out);
 }
 
-Result<KnnResults> GtsIndex::KnnQueryBatchOn(const Version& v,
-                                             const Dataset& queries, uint32_t k,
-                                             double candidate_fraction,
-                                             GtsQueryStats* stats_out) const {
+Result<KnnResults> GtsIndex::KnnQueryBatchBounded(
+    const Dataset& queries, uint32_t k, std::span<const float> initial_bounds,
+    GtsQueryStats* stats_out) const {
+  epoch::Guard guard(&epoch_);  // pin BEFORE the version load
+  return KnnQueryBatchOn(Current(), queries, k, /*candidate_fraction=*/1.0,
+                         initial_bounds, stats_out);
+}
+
+Result<KnnResults> GtsIndex::KnnQueryBatchOn(
+    const Version& v, const Dataset& queries, uint32_t k,
+    double candidate_fraction, std::span<const float> initial_bounds,
+    GtsQueryStats* stats_out, double anchor_ns) const {
   if (candidate_fraction <= 0.0 || candidate_fraction > 1.0) {
     return Status::InvalidArgument("candidate_fraction must be in (0, 1]");
   }
+  if (!initial_bounds.empty() && initial_bounds.size() != queries.size()) {
+    return Status::InvalidArgument("one initial bound per query required");
+  }
+  for (const float b : initial_bounds) {
+    if (!(b >= 0.0f)) {  // rejects negatives and NaN
+      return Status::InvalidArgument("initial bounds must be non-negative");
+    }
+  }
   QueryContext ctx(*device_, v);
+  if (anchor_ns >= 0.0) ctx.start_ns = anchor_ns;
   ctx.candidate_fraction = candidate_fraction;
-  auto result = KnnQueryBatchImpl(queries, k, &ctx);
+  auto result = KnnQueryBatchImpl(queries, k, initial_bounds, &ctx);
   AccumulateStats(ctx, stats_out);
   return result;
 }
 
-Result<KnnResults> GtsIndex::KnnQueryBatchImpl(const Dataset& queries,
-                                               uint32_t k,
-                                               QueryContext* ctx) const {
+Result<KnnResults> GtsIndex::KnnQueryBatchImpl(
+    const Dataset& queries, uint32_t k, std::span<const float> initial_bounds,
+    QueryContext* ctx) const {
   if (!queries.CompatibleWith(ctx->data())) {
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
@@ -90,6 +108,9 @@ Result<KnnResults> GtsIndex::KnnQueryBatchImpl(const Dataset& queries,
 
   std::vector<KnnState> states(queries.size());
   for (auto& s : states) s.k = k;
+  for (size_t q = 0; q < initial_bounds.size(); ++q) {
+    states[q].cap = initial_bounds[q];
+  }
 
   if (ctx->indexed_count() > 0) {
     std::vector<Entry> frontier;
@@ -156,6 +177,7 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
         const GtsNode& child = ctx->node(cid);
         if (child.size == 0) continue;
         if (dq[i] - child.max_dis > bound || child.min_dis - dq[i] > bound) {
+          ++ctx->stats.nodes_pruned;
           continue;
         }
         buf[emitted++] =

@@ -69,7 +69,7 @@ Result<RangeResults> GtsIndex::RangeQueryBatch(
 
 Result<RangeResults> GtsIndex::RangeQueryBatchOn(
     const Version& v, const Dataset& queries, std::span<const float> radii,
-    GtsQueryStats* stats_out) const {
+    GtsQueryStats* stats_out, double anchor_ns) const {
   if (queries.size() != radii.size()) {
     return Status::InvalidArgument("one radius per query required");
   }
@@ -77,6 +77,7 @@ Result<RangeResults> GtsIndex::RangeQueryBatchOn(
     return Status::InvalidArgument("query objects incompatible with dataset");
   }
   QueryContext ctx(*device_, v);
+  if (anchor_ns >= 0.0) ctx.start_ns = anchor_ns;
   RangeResults out(queries.size());
   if (ctx.indexed_count() > 0) {
     std::vector<Entry> frontier;
@@ -135,7 +136,10 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
         const uint64_t cid = ChildNodeId(group[i].node, j, nc);
         const GtsNode& child = ctx->node(cid);
         if (child.size == 0) continue;
-        if (dq[i] + r < child.min_dis || dq[i] - r > child.max_dis) continue;
+        if (dq[i] + r < child.min_dis || dq[i] - r > child.max_dis) {
+          ++ctx->stats.nodes_pruned;
+          continue;
+        }
         buf[emitted++] =
             Entry{static_cast<uint32_t>(cid), group[i].query, dq[i]};
       }

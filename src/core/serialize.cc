@@ -159,6 +159,10 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Load(const std::string& path,
   version->cache = std::move(cache);
   version->rebuild_count = rebuild_count;
   version->version_id = index->next_version_id_++;
+  // The covering ball is derived state — recomputed here instead of
+  // serialized, so the file format is unchanged and stale-radius drift
+  // cannot survive a save/load round trip.
+  version->ball = index->ComputeCoveringBall(*version);
   GTS_RETURN_IF_ERROR(index->UpdateResidentBytes(version.get()));
   index->current_.store(version.release(), std::memory_order_seq_cst);
 

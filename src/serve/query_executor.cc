@@ -48,6 +48,19 @@ void QueryExecutor::Submit(std::function<void()> fn) {
   work_cv_.notify_one();
 }
 
+void QueryExecutor::Submit(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& fn : fns) {
+      queue_.push_back(std::move(fn));
+    }
+  }
+  // One pool-wide wake for the whole group (RunAll's pattern): cheaper
+  // than notify_one per item once the group spans several workers.
+  work_cv_.notify_all();
+}
+
 void QueryExecutor::RunAll(std::vector<std::function<void()>>* tasks) {
   if (tasks->empty()) return;
   CountdownLatch latch(tasks->size());

@@ -81,6 +81,14 @@ class QueryExecutor {
   /// occupied pool).
   void Submit(std::function<void()> fn);
 
+  /// Batched Submit: enqueues the whole group under ONE lock acquisition
+  /// and one pool-wide wake, instead of a lock + wake per item — the
+  /// amortization the serving layers' batched scatter rides (a session
+  /// flush fans all its shard tasks out in one call). Same queue, same
+  /// ordering (the group lands contiguously, in vector order), same
+  /// no-blocking-on-later-work contract per item.
+  void Submit(std::vector<std::function<void()>> fns);
+
   /// Worker threads in the pool.
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <map>
 #include <span>
 #include <utility>
@@ -68,101 +70,59 @@ bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
   if (stop_) return false;
   if (reads_.size() < options_.max_queue) return true;
   if (options_.admission == AdmissionPolicy::kReject) return false;
+  // The dispatcher may not have been woken for the entries already pushed
+  // in this same (batched) call — wake it, or the kBlock wait below would
+  // deadlock on a queue only the dispatcher can drain.
+  cv_dispatch_.notify_all();
   cv_space_.wait(*lock, [this] {
     return stop_ || reads_.size() < options_.max_queue;
   });
   return !stop_;
 }
 
-std::future<Response> QuerySession::Submit(Request request) {
-  const auto submitted_at = Clock::now();
-  // Translate the typed payload into the internal work-item forms. The
-  // translation is pure (no lock): concurrent submitters only serialize
-  // on the queue push inside SubmitRead/SubmitWrite.
-  return std::visit(
-      [&](auto&& payload) -> std::future<Response> {
-        using P = std::decay_t<decltype(payload)>;
-        if constexpr (std::is_same_v<P, RangePayload>) {
-          PendingRead read;
-          read.kind = PendingRead::Kind::kRange;
-          read.query = std::move(payload.query);
-          read.radius = payload.radius;
-          return SubmitRead(std::move(read), request.deadline_micros,
-                            submitted_at);
-        } else if constexpr (std::is_same_v<P, KnnPayload>) {
-          PendingRead read;
-          read.kind = PendingRead::Kind::kKnn;
-          read.query = std::move(payload.query);
-          read.k = payload.k;
-          return SubmitRead(std::move(read), request.deadline_micros,
-                            submitted_at);
-        } else if constexpr (std::is_same_v<P, KnnApproxPayload>) {
-          PendingRead read;
-          read.kind = PendingRead::Kind::kKnn;
-          read.query = std::move(payload.query);
-          read.k = payload.k;
-          read.candidate_fraction = payload.candidate_fraction;
-          return SubmitRead(std::move(read), request.deadline_micros,
-                            submitted_at);
-        } else if constexpr (std::is_same_v<P, InsertPayload>) {
-          PendingWrite write;
-          write.kind = PendingWrite::Kind::kInsert;
-          write.payload = std::move(payload.object);
-          return SubmitWrite(std::move(write));
-        } else if constexpr (std::is_same_v<P, RemovePayload>) {
-          PendingWrite write;
-          write.kind = PendingWrite::Kind::kRemove;
-          write.remove_id = payload.id;
-          return SubmitWrite(std::move(write));
-        } else if constexpr (std::is_same_v<P, BatchUpdatePayload>) {
-          PendingWrite write;
-          write.kind = PendingWrite::Kind::kBatchUpdate;
-          write.payload = std::move(payload.inserts);
-          write.removals = std::move(payload.removals);
-          return SubmitWrite(std::move(write));
-        } else {
-          static_assert(std::is_same_v<P, RebuildPayload>);
-          PendingWrite write;
-          write.kind = PendingWrite::Kind::kRebuild;
-          return SubmitWrite(std::move(write));
-        }
-      },
-      std::move(request.payload));
+bool QuerySession::TranslateRead(RequestPayload* payload, PendingRead* out) {
+  if (auto* range = std::get_if<RangePayload>(payload)) {
+    out->kind = PendingRead::Kind::kRange;
+    out->query = std::move(range->query);
+    out->radius = range->radius;
+    return true;
+  }
+  if (auto* knn = std::get_if<KnnPayload>(payload)) {
+    out->kind = PendingRead::Kind::kKnn;
+    out->query = std::move(knn->query);
+    out->k = knn->k;
+    out->bound_cap = knn->bound_cap;
+    return true;
+  }
+  if (auto* approx = std::get_if<KnnApproxPayload>(payload)) {
+    out->kind = PendingRead::Kind::kKnn;
+    out->query = std::move(approx->query);
+    out->k = approx->k;
+    out->candidate_fraction = approx->candidate_fraction;
+    return true;
+  }
+  return false;
 }
 
-std::future<Response> QuerySession::SubmitRead(
-    PendingRead read, uint64_t deadline_micros,
-    Clock::time_point submitted_at) {
-  auto future = read.promise.get_future();
+bool QuerySession::ValidRead(const PendingRead& read) const {
+  // The payload is already a private copy; the index's kind/dim are
+  // immutable, so this needs no lock. An out-of-range factory index
+  // arrives here as an empty query dataset. `!(cap >= 0)` rejects NaN.
+  return read.query.size() == 1 && index_->CompatibleData(read.query) &&
+         (read.kind != PendingRead::Kind::kKnn ||
+          (read.candidate_fraction > 0.0 && read.candidate_fraction <= 1.0 &&
+           read.bound_cap >= 0.0f));
+}
 
-  // Validate off-lock (the payload is already a private copy; the index's
-  // kind/dim are immutable). An out-of-range factory index arrives here
-  // as an empty query dataset.
-  const bool valid =
-      read.query.size() == 1 && index_->CompatibleData(read.query) &&
-      (read.kind != PendingRead::Kind::kKnn ||
-       (read.candidate_fraction > 0.0 && read.candidate_fraction <= 1.0));
-  if (!valid) {
-    const Status invalid =
-        Status::InvalidArgument("query object invalid for this index");
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
-    read.promise.set_value(read.kind == PendingRead::Kind::kRange
-                               ? Response{RangeResult(invalid)}
-                               : Response{KnnResult(invalid)});
-    return future;
-  }
+Response QuerySession::ReadError(const PendingRead& read,
+                                 const Status& status) {
+  return read.kind == PendingRead::Kind::kRange
+             ? Response{RangeResult(status)}
+             : Response{KnnResult(status)};
+}
 
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!AdmitRead(&lock)) {
-    ++stats_.rejected;
-    const Status full = Status::ResourceExhausted("session read queue full");
-    read.promise.set_value(read.kind == PendingRead::Kind::kRange
-                               ? Response{RangeResult(full)}
-                               : Response{KnnResult(full)});
-    return future;
-  }
-
+void QuerySession::EnqueueRead(PendingRead read, uint64_t deadline_micros,
+                               Clock::time_point submitted_at) {
   read.enqueued_at = submitted_at;
   read.seq = next_seq_++;
   read.has_deadline = deadline_micros > 0;
@@ -177,11 +137,126 @@ std::future<Response> QuerySession::SubmitRead(
                                     : options_.no_deadline_slack_micros);
   reads_.push_back(std::move(read));
   ++stats_.submitted;
+}
+
+std::future<Response> QuerySession::Submit(Request request) {
+  const auto submitted_at = Clock::now();
+  // Translate the typed payload into the internal work-item forms. The
+  // translation is pure (no lock): concurrent submitters only serialize
+  // on the queue push inside SubmitRead/SubmitWrite.
+  PendingRead read;
+  if (TranslateRead(&request.payload, &read)) {
+    return SubmitRead(std::move(read), request.deadline_micros, submitted_at);
+  }
+  return std::visit(
+      [&](auto&& payload) -> std::future<Response> {
+        using P = std::decay_t<decltype(payload)>;
+        PendingWrite write;
+        if constexpr (std::is_same_v<P, InsertPayload>) {
+          write.kind = PendingWrite::Kind::kInsert;
+          write.payload = std::move(payload.object);
+        } else if constexpr (std::is_same_v<P, RemovePayload>) {
+          write.kind = PendingWrite::Kind::kRemove;
+          write.remove_id = payload.id;
+        } else if constexpr (std::is_same_v<P, BatchUpdatePayload>) {
+          write.kind = PendingWrite::Kind::kBatchUpdate;
+          write.payload = std::move(payload.inserts);
+          write.removals = std::move(payload.removals);
+        } else if constexpr (std::is_same_v<P, RebuildPayload>) {
+          write.kind = PendingWrite::Kind::kRebuild;
+        } else {
+          // Reads were handled by TranslateRead above.
+          static_assert(std::is_same_v<P, RangePayload> ||
+                        std::is_same_v<P, KnnPayload> ||
+                        std::is_same_v<P, KnnApproxPayload>);
+        }
+        return SubmitWrite(std::move(write), request.deadline_micros);
+      },
+      std::move(request.payload));
+}
+
+std::vector<std::future<Response>> QuerySession::SubmitBatch(
+    std::vector<Request> requests) {
+  const auto submitted_at = Clock::now();
+  std::vector<std::future<Response>> futures(requests.size());
+
+  // Translate + validate off-lock; rejections and write fallbacks resolve
+  // per request. The admissible reads then enter the queue in one pass.
+  struct Slot {
+    PendingRead read;
+    uint64_t deadline_micros = 0;
+    size_t index = 0;
+  };
+  std::vector<Slot> admit;
+  admit.reserve(requests.size());
+  size_t invalid = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    PendingRead read;
+    if (!TranslateRead(&requests[i].payload, &read)) {
+      futures[i] = Submit(std::move(requests[i]));
+      continue;
+    }
+    futures[i] = read.promise.get_future();
+    if (!ValidRead(read)) {
+      read.promise.set_value(ReadError(
+          read,
+          Status::InvalidArgument("query object invalid for this index")));
+      ++invalid;
+      continue;
+    }
+    admit.push_back(Slot{std::move(read), requests[i].deadline_micros, i});
+  }
+
+  bool enqueued_any = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.rejected += invalid;
+    for (Slot& slot : admit) {
+      if (!AdmitRead(&lock)) {
+        ++stats_.rejected;
+        slot.read.promise.set_value(ReadError(
+            slot.read,
+            Status::ResourceExhausted("session read queue full")));
+        continue;
+      }
+      EnqueueRead(std::move(slot.read), slot.deadline_micros, submitted_at);
+      enqueued_any = true;
+    }
+  }
+  // ONE dispatcher wake for the whole group — the amortization this entry
+  // point exists for.
+  if (enqueued_any) cv_dispatch_.notify_all();
+  return futures;
+}
+
+std::future<Response> QuerySession::SubmitRead(
+    PendingRead read, uint64_t deadline_micros,
+    Clock::time_point submitted_at) {
+  auto future = read.promise.get_future();
+
+  if (!ValidRead(read)) {
+    const Status invalid =
+        Status::InvalidArgument("query object invalid for this index");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    read.promise.set_value(ReadError(read, invalid));
+    return future;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!AdmitRead(&lock)) {
+    ++stats_.rejected;
+    read.promise.set_value(ReadError(
+        read, Status::ResourceExhausted("session read queue full")));
+    return future;
+  }
+  EnqueueRead(std::move(read), deadline_micros, submitted_at);
   cv_dispatch_.notify_all();
   return future;
 }
 
-std::future<Response> QuerySession::SubmitWrite(PendingWrite write) {
+std::future<Response> QuerySession::SubmitWrite(PendingWrite write,
+                                                uint64_t deadline_micros) {
   auto future = write.promise.get_future();
 
   if (write.kind == PendingWrite::Kind::kInsert &&
@@ -199,6 +274,10 @@ std::future<Response> QuerySession::SubmitWrite(PendingWrite write) {
                                 : Response{UpdateResult(stopped)});
     return future;
   }
+  // Updates are applied in submission order regardless of deadline, but
+  // the envelope's target is recorded so a fan-out layer (the sharded
+  // frontend's BatchUpdate/Rebuild scatter) can be audited end to end.
+  if (deadline_micros > 0) ++stats_.writer_deadline_carried;
   writes_.push_back(std::move(write));
   cv_dispatch_.notify_all();
   return future;
@@ -358,8 +437,12 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
   // across groups and shards, on any worker thread — observes the same
   // index version. The pin is an epoch guard, not a lock: it costs one
   // CAS, never blocks, and never delays the updates the dispatcher will
-  // apply right after this cycle.
-  const GtsIndex::ReadSnapshot snapshot = index_->SnapshotForRead();
+  // apply right after this cycle. Anchoring declares the cycle's shard
+  // tasks one concurrent device wave: their modeled times fold as a
+  // parallel makespan even on a host with fewer cores than workers
+  // (each task makes exactly one query call, so nothing serial folds).
+  GtsIndex::ReadSnapshot snapshot = index_->SnapshotForRead();
+  snapshot.AnchorClock();
 
   struct ShardTask {
     const std::vector<size_t>* items;
@@ -387,8 +470,10 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
   // a fast group's reads must not be charged a slow sibling group's
   // finish time in the deadline/latency accounting below.
   std::vector<Clock::time_point> resolved_at(batch->size());
+  std::vector<std::function<void()>> fns;
+  fns.reserve(tasks.size());
   for (const ShardTask& task : tasks) {
-    executor_->Submit([batch, &snapshot, &latch, &task, &resolved_at] {
+    fns.push_back([batch, &snapshot, &latch, &task, &resolved_at] {
       // Reassemble this shard's one-object queries into one batch.
       Dataset queries = (*batch)[(*task.items)[task.begin]].query;
       for (uint32_t i = task.begin + 1; i < task.end; ++i) {
@@ -410,9 +495,21 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
           }
         }
       } else {
+        // Bound-capped reads (the sharded frontend's refined scatter) ride
+        // the same coalesced call: grouping stays keyed on (k, fraction)
+        // only, each query carries its own cap into the batch.
+        std::vector<float> caps(task.end - task.begin);
+        bool any_cap = false;
+        for (uint32_t i = task.begin; i < task.end; ++i) {
+          const float cap = (*batch)[(*task.items)[i]].bound_cap;
+          caps[i - task.begin] = cap;
+          any_cap |= cap < std::numeric_limits<float>::infinity();
+        }
         auto res = task.fraction < 1.0
                        ? snapshot.KnnQueryBatchApprox(queries, task.k,
                                                       task.fraction)
+                   : any_cap
+                       ? snapshot.KnnQueryBatchBounded(queries, task.k, caps)
                        : snapshot.KnnQueryBatch(queries, task.k);
         for (uint32_t i = task.begin; i < task.end; ++i) {
           PendingRead& item = (*batch)[(*task.items)[i]];
@@ -431,6 +528,9 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
       latch.CountDown();
     });
   }
+  // Batched scatter: the whole cycle's shard tasks enter the pool under
+  // one lock acquisition and one pool-wide wake.
+  executor_->Submit(std::move(fns));
   latch.Wait();
 
   // Every promise of this flush is resolved; charge each item's latency

@@ -52,6 +52,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -121,6 +122,12 @@ struct SessionStats {
   uint64_t flushes = 0;     ///< read flush cycles dispatched
   uint64_t coalesced_batches = 0;  ///< per-(op,k,fraction) groups dispatched
   uint64_t writer_ops = 0;  ///< update work items applied
+  /// Update submissions that carried a deadline envelope. Deadlines do
+  /// not schedule writes (writes-first already runs every queued update
+  /// before the next flush) — this is ops telemetry proving the envelope
+  /// reached the session, which the sharded frontend's fan-out regression
+  /// test (and dashboards watching for silently-dropped deadlines) read.
+  uint64_t writer_deadline_carried = 0;
   /// Reads resolved after their requested deadline_micros (deadline-free
   /// reads never count). The answer is still delivered; this is the
   /// scheduling-quality counter the EDF order exists to minimize.
@@ -164,6 +171,20 @@ class QuerySession {
   // session serves one index.
 
   std::future<Response> Submit(Request request);
+
+  /// Batched submission — Submit for a whole group of requests in one
+  /// pass. Per-request semantics (validation, admission policy, deadline
+  /// handling, response alternatives) are identical to Submit; what the
+  /// batch amortizes is the queue entry: every admissible read of the
+  /// group is enqueued under ONE lock acquisition and one dispatcher
+  /// wake, where per-request Submit pays both per call. This is the
+  /// sharded frontend's batched-scatter path. Caveats: all reads of the
+  /// group share the call instant as their latency/deadline anchor, and
+  /// under AdmissionPolicy::kBlock a full queue blocks the call
+  /// mid-batch (already-enqueued group members may flush meanwhile).
+  /// Updates in the group take the ordinary write path, in order.
+  /// futures[i] corresponds to requests[i].
+  std::vector<std::future<Response>> SubmitBatch(std::vector<Request> requests);
 
   // --- Legacy typed entry points ----------------------------------------
   // One-line compat wrappers over Submit(Request): they build the Request
@@ -231,6 +252,8 @@ class QuerySession {
     float radius = 0.0f;
     uint32_t k = 0;
     double candidate_fraction = 1.0;
+    /// kNN initial pruning bound (KnnPayload::bound_cap; +inf = none).
+    float bound_cap = std::numeric_limits<float>::infinity();
     uint64_t seq = 0;            ///< 0-based admission rank (EDF tie-break)
     bool has_deadline = false;   ///< explicit deadline (miss-counted)
     /// EDF key: the explicit deadline, or arrival + no_deadline_slack.
@@ -257,13 +280,31 @@ class QuerySession {
   std::future<Response> SubmitRead(PendingRead read, uint64_t deadline_micros,
                                    Clock::time_point submitted_at);
   /// Update-path body of Submit: enqueues for the dispatcher (never
-  /// rejected while running).
-  std::future<Response> SubmitWrite(PendingWrite write);
+  /// rejected while running). `deadline_micros` is telemetry only
+  /// (SessionStats::writer_deadline_carried) — writes-first ordering
+  /// already runs every queued update ahead of the next flush.
+  std::future<Response> SubmitWrite(PendingWrite write,
+                                    uint64_t deadline_micros);
+
+  /// Translates a read payload into the internal work item; false (and
+  /// `out` untouched) for update payloads. Moves out of `payload`.
+  static bool TranslateRead(RequestPayload* payload, PendingRead* out);
+  /// Validates a translated read against this session's index (single
+  /// object, compatible kind/dim, parameter ranges).
+  bool ValidRead(const PendingRead& read) const;
+  /// Rejection response in the read's own alternative.
+  static Response ReadError(const PendingRead& read, const Status& status);
 
   /// True when the read queue has admission room, waiting (kBlock) until
   /// it does; false when the submission must be rejected (kReject or
-  /// stopping). Called with `lock` held.
+  /// stopping). Called with `lock` held; wakes the dispatcher before a
+  /// kBlock wait so a backlog enqueued in the same (batched) call drains.
   bool AdmitRead(std::unique_lock<std::mutex>* lock);
+  /// Queue insertion shared by SubmitRead and SubmitBatch: stamps the
+  /// seq / deadline bookkeeping and pushes. Called with the lock held;
+  /// the caller wakes the dispatcher.
+  void EnqueueRead(PendingRead read, uint64_t deadline_micros,
+                   Clock::time_point submitted_at);
 
   void DispatchLoop();
   /// Runs one coalesced flush cycle; called off-lock on the dispatcher.

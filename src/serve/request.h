@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -54,6 +55,14 @@ struct RangePayload {
 struct KnnPayload {
   Dataset query = Dataset::Strings();  ///< exactly one object
   uint32_t k = 0;
+  /// Caller-proven upper bound on the k-th nearest distance (+inf =
+  /// none). Plumbed into GtsIndex::KnnQueryBatchBounded so the search
+  /// prunes against min(bound_cap, running k-th); results beyond the
+  /// bound may be dropped — by the caller's premise they cannot matter.
+  /// The sharded frontend's refined scatter sets this on the sub-requests
+  /// it fans to non-seed shards (sharded_frontend.h); ordinary clients
+  /// leave the default. Must be non-negative (NaN rejects).
+  float bound_cap = std::numeric_limits<float>::infinity();
 };
 
 /// Approximate kNN (GtsIndex::KnnQueryBatchApprox's candidate budget).

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace gts::serve {
 
@@ -22,7 +25,141 @@ uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
   return h;
 }
 
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// The canonical kNN result order (the one GtsIndex::KnnQueryBatch
+/// maintains internally): ascending (dist, id).
+void SortNeighbors(std::vector<Neighbor>* v) {
+  std::sort(v->begin(), v->end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  });
+}
+
 }  // namespace
+
+// Shared gather state of one SubmitBatch call's exact-kNN reads. Phase 1
+// (the seed sub-queries) is submitted by SubmitBatch; phase 2 is driven
+// by the FIRST gather that runs — under the mutex it collects every
+// item's seed result, derives the per-item bound, prunes the deferred
+// shards the bound disqualifies, and fans the survivors out as ONE
+// batched submission per shard for the whole group. Later gathers (and
+// the rest of the first one) only touch their own item.
+struct ShardedFrontend::KnnScatter {
+  struct Item {
+    Dataset query = Dataset::Strings();  ///< one-object copy for phase 2
+    uint32_t k = 0;
+    float client_cap = kInf;  ///< the request's own bound_cap
+    uint64_t deadline_micros = 0;
+    uint32_t seed_shard = 0;
+    std::future<Response> seed_future;
+    /// Non-seed candidate shards and their lower bounds d(q, pivot) - r.
+    std::vector<std::pair<uint32_t, float>> deferred;
+    // Filled by RunPhase2:
+    KnnResult seed_result{Status::Ok()};
+    std::vector<std::pair<uint32_t, std::future<Response>>> phase2;
+  };
+
+  ShardedFrontend* frontend = nullptr;
+  std::mutex mu;
+  bool phase2_done = false;
+  std::vector<Item> items;
+
+  /// Requires `mu` held. Idempotent; the first caller does the work.
+  void RunPhase2() {
+    if (phase2_done) return;
+    phase2_done = true;
+    const uint32_t n = frontend->num_shards();
+    // Collect every seed first: the whole group's phase-2 submissions
+    // coalesce below, so no item's phase 2 can start before the slowest
+    // seed anyway — and the seeds all ride one session flush cycle.
+    for (Item& item : items) {
+      item.seed_result = std::move(item.seed_future.get().knn());
+    }
+    std::vector<std::vector<Request>> shard_reqs(n);
+    std::vector<std::vector<std::pair<size_t, size_t>>> placements(n);
+    uint64_t pruned = 0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      Item& item = items[i];
+      if (!item.seed_result.ok()) {
+        // The gather resolves with the seed's error regardless; the
+        // deferred shards are never queried.
+        pruned += item.deferred.size();
+        continue;
+      }
+      // The seed's k-th distance bounds the global k-th from above only
+      // once the seed produced k results; otherwise the client's own cap
+      // is all that is proven.
+      float cap = item.client_cap;
+      if (item.k > 0 && item.seed_result.value().size() >= item.k) {
+        cap = std::min(cap, item.seed_result.value().back().dist);
+      }
+      for (const auto& [shard, lb] : item.deferred) {
+        // Strict: a shard whose bound touches the cap may hold ties that
+        // beat the in-hand candidates on id order.
+        if (lb > cap) {
+          ++pruned;
+          continue;
+        }
+        Request sub;
+        sub.deadline_micros = item.deadline_micros;
+        sub.payload = KnnPayload{item.query, item.k, cap};
+        placements[shard].emplace_back(i, item.phase2.size());
+        item.phase2.emplace_back(shard, std::future<Response>{});
+        shard_reqs[shard].push_back(std::move(sub));
+      }
+    }
+    frontend->pruned_.fetch_add(pruned, std::memory_order_relaxed);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (shard_reqs[s].empty()) continue;
+      auto futures =
+          frontend->sessions_[s]->SubmitBatch(std::move(shard_reqs[s]));
+      for (size_t j = 0; j < futures.size(); ++j) {
+        const auto [item, slot] = placements[s][j];
+        items[item].phase2[slot].second = std::move(futures[j]);
+      }
+    }
+  }
+
+  Response Gather(size_t idx) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      RunPhase2();
+    }
+    // After RunPhase2, each gather touches only its own item.
+    Item& item = items[idx];
+    const uint32_t n = frontend->num_shards();
+    std::vector<Neighbor> merged;
+    Status first_bad = Status::Ok();
+    const auto absorb = [&](uint32_t shard, KnnResult res) {
+      if (!res.ok()) {
+        if (first_bad.ok()) first_bad = res.status();
+        return;
+      }
+      for (const Neighbor& nb : res.value()) {
+        auto gid = ComposeGlobalId(nb.id, shard, n);
+        if (!gid.ok()) {
+          if (first_bad.ok()) first_bad = gid.status();
+          return;
+        }
+        merged.push_back(Neighbor{gid.value(), nb.dist});
+      }
+    };
+    absorb(item.seed_shard, std::move(item.seed_result));
+    for (auto& [shard, future] : item.phase2) {
+      absorb(shard, std::move(future.get().knn()));
+    }
+    if (!first_bad.ok()) return Response{KnnResult(first_bad)};
+    // Selection by a total order commutes with partitioning: re-sorting
+    // the union of per-shard top-k's under the canonical order and
+    // truncating reproduces the single-index answer exactly. Capped
+    // shards only ever dropped neighbors strictly beyond the bound, which
+    // the truncation would discard anyway.
+    SortNeighbors(&merged);
+    if (merged.size() > item.k) merged.resize(item.k);
+    return Response{KnnResult(std::move(merged))};
+  }
+};
 
 ShardedFrontend::ShardedFrontend(std::vector<GtsIndex*> shards,
                                  FrontendOptions options)
@@ -36,11 +173,38 @@ ShardedFrontend::ShardedFrontend(std::vector<GtsIndex*> shards,
     sessions_.push_back(std::make_unique<QuerySession>(index, executor_.get(),
                                                        options_.session));
   }
+  driver_ = std::thread([this] { DriverLoop(); });
 }
 
 ShardedFrontend::~ShardedFrontend() {
+  {
+    std::lock_guard<std::mutex> lock(driver_mu_);
+    driver_stop_ = true;
+  }
+  driver_cv_.notify_all();
+  driver_.join();
   // Session destructors drain; explicit reset before the executor dies.
   sessions_.clear();
+}
+
+void ShardedFrontend::DriverLoop() {
+  for (;;) {
+    std::shared_ptr<KnnScatter> state;
+    {
+      std::unique_lock<std::mutex> lock(driver_mu_);
+      driver_cv_.wait(lock,
+                      [&] { return driver_stop_ || !driver_queue_.empty(); });
+      if (driver_queue_.empty()) return;  // stop requested, queue drained
+      state = std::move(driver_queue_.front());
+      driver_queue_.pop_front();
+    }
+    // Blocks on the group's seed futures, then submits its phase-2
+    // fan-out. A caller that gathered first already did both (the flag
+    // makes this a no-op); a caller gathering concurrently waits on the
+    // state mutex, exactly as if it had raced another gatherer.
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->RunPhase2();
+  }
 }
 
 uint32_t ShardedFrontend::ShardForObject(const Dataset& src,
@@ -54,6 +218,17 @@ uint32_t ShardedFrontend::ShardForObject(const Dataset& src,
     h = Fnv1a(h, s.data(), s.size());
   }
   return static_cast<uint32_t>(h % num_shards());
+}
+
+Result<uint32_t> ShardedFrontend::ComposeGlobalId(uint64_t local,
+                                                  uint32_t shard,
+                                                  uint32_t num_shards) {
+  const uint64_t global = local * num_shards + shard;
+  if (global > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "global id overflows the 32-bit id space");
+  }
+  return static_cast<uint32_t>(global);
 }
 
 template <typename Payload>
@@ -84,79 +259,318 @@ std::future<Response> ShardedFrontend::GatherStatus(
 }
 
 std::future<Response> ShardedFrontend::Submit(Request request) {
+  if (sessions_.empty() || !request.is_read()) {
+    return SubmitUpdate(std::move(request));
+  }
+  std::vector<Request> one;
+  one.push_back(std::move(request));
+  auto futures = SubmitBatch(std::move(one));
+  return std::move(futures[0]);
+}
+
+std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
+    std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures(requests.size());
+  const uint32_t n = num_shards();
+  if (n == 0) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      futures[i] = ResolvedFuture(ErrorResponse(
+          requests[i], Status::InvalidArgument("frontend has no shards")));
+    }
+    return futures;
+  }
+
+  // Pin one snapshot per shard for the whole planning pass: every pruning
+  // decision of this batch reads one consistent ball + routing distance
+  // per shard. (The shard sessions still pin their own flush-time
+  // versions for the queries themselves — same freshness contract the
+  // blind scatter had.)
+  std::vector<GtsIndex::ReadSnapshot> snaps;
+  if (options_.prune_scatter) {
+    bool any_read = false;
+    for (const Request& r : requests) any_read |= r.is_read();
+    if (any_read) {
+      snaps.reserve(n);
+      for (auto& session : sessions_) {
+        snaps.push_back(session->index()->SnapshotForRead());
+        // The batch's routing probes against this shard are one
+        // concurrent probe wave, not a serial chain (AnchorClock).
+        snaps.back().AnchorClock();
+      }
+    }
+  }
+
+  // --- Plan: decide, per read, which shards to query -------------------
+  struct GatherRef {
+    uint32_t shard;
+    size_t pos;  // index into shard_reqs[shard]
+  };
+  struct ScatterPlan {
+    size_t index;  // position in requests/futures
+    bool is_range;
+    uint32_t k = 0;  // kNN truncation (unused for range)
+    std::vector<GatherRef> subs;
+  };
+  struct KnnPlan {
+    size_t index;  // position in requests/futures
+    size_t item;   // KnnScatter item
+    GatherRef seed;
+  };
+  std::vector<ScatterPlan> scatter_plans;
+  std::vector<KnnPlan> knn_plans;
+  std::shared_ptr<KnnScatter> knn_state;
+  std::vector<std::vector<Request>> shard_reqs(n);
+
+  const auto full_scatter = [&](size_t i, Request& request, bool is_range,
+                                uint32_t k) {
+    ScatterPlan plan;
+    plan.index = i;
+    plan.is_range = is_range;
+    plan.k = k;
+    plan.subs.reserve(n);
+    for (uint32_t s = 0; s < n; ++s) {
+      Request sub;
+      sub.deadline_micros = request.deadline_micros;
+      sub.payload = request.payload;  // per-shard copy
+      plan.subs.push_back(GatherRef{s, shard_reqs[s].size()});
+      shard_reqs[s].push_back(std::move(sub));
+    }
+    scatter_plans.push_back(std::move(plan));
+  };
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Request& request = requests[i];
+    if (!request.is_read()) {
+      futures[i] = SubmitUpdate(std::move(request));
+      continue;
+    }
+    auto* range = std::get_if<RangePayload>(&request.payload);
+    auto* knn = std::get_if<KnnPayload>(&request.payload);
+    auto* approx = std::get_if<KnnApproxPayload>(&request.payload);
+    const Dataset& query = range != nullptr  ? range->query
+                           : knn != nullptr ? knn->query
+                                            : approx->query;
+    // Mirror QuerySession's validation (same message) so a rejected read
+    // never reaches the planner. `!(cap >= 0)` rejects NaN.
+    const bool valid =
+        query.size() == 1 && sessions_[0]->index()->CompatibleData(query) &&
+        (knn == nullptr || knn->bound_cap >= 0.0f) &&
+        (approx == nullptr || (approx->candidate_fraction > 0.0 &&
+                               approx->candidate_fraction <= 1.0));
+    if (!valid) {
+      futures[i] = ResolvedFuture(ErrorResponse(
+          request,
+          Status::InvalidArgument("query object invalid for this index")));
+      continue;
+    }
+    scatter_reads_.fetch_add(1, std::memory_order_relaxed);
+
+    // Approximate kNN always fans to every shard (file comment); so does
+    // everything when pruning is off.
+    if (approx != nullptr) {
+      full_scatter(i, request, /*is_range=*/false, approx->k);
+      continue;
+    }
+    if (snaps.empty()) {
+      full_scatter(i, request, range != nullptr, knn != nullptr ? knn->k : 0);
+      continue;
+    }
+
+    if (range != nullptr) {
+      ScatterPlan plan;
+      plan.index = i;
+      plan.is_range = true;
+      uint64_t pruned = 0;
+      for (uint32_t s = 0; s < n; ++s) {
+        const CoveringBall ball = snaps[s].covering_ball();
+        // An emptied shard keeps a stale (conservative) ball after
+        // removals; the alive count catches it either way.
+        if (snaps[s].alive_size() == 0 || !ball.valid) {
+          ++pruned;
+          continue;
+        }
+        const float d = snaps[s].RoutingDistance(range->query, 0, ball.pivot);
+        // Strict: a hit exactly at distance `radius` sits on the query
+        // ball's boundary and must survive.
+        if (d - ball.radius > range->radius) {
+          ++pruned;
+          continue;
+        }
+        Request sub;
+        sub.deadline_micros = request.deadline_micros;
+        sub.payload = RangePayload{range->query, range->radius};
+        plan.subs.push_back(GatherRef{s, shard_reqs[s].size()});
+        shard_reqs[s].push_back(std::move(sub));
+      }
+      pruned_.fetch_add(pruned, std::memory_order_relaxed);
+      if (plan.subs.empty()) {
+        futures[i] =
+            ResolvedFuture(Response{RangeResult(std::vector<uint32_t>{})});
+      } else {
+        scatter_plans.push_back(std::move(plan));
+      }
+      continue;
+    }
+
+    // Exact kNN: two-phase pruned scatter.
+    if (knn->k == 0) {
+      futures[i] =
+          ResolvedFuture(Response{KnnResult(std::vector<Neighbor>{})});
+      pruned_.fetch_add(n, std::memory_order_relaxed);
+      continue;
+    }
+    std::vector<std::pair<uint32_t, float>> cands;  // (shard, lower bound)
+    uint64_t pruned = 0;
+    for (uint32_t s = 0; s < n; ++s) {
+      const CoveringBall ball = snaps[s].covering_ball();
+      if (snaps[s].alive_size() == 0 || !ball.valid) {
+        ++pruned;
+        continue;
+      }
+      const float d = snaps[s].RoutingDistance(knn->query, 0, ball.pivot);
+      const float lb = d - ball.radius;  // may be negative
+      if (lb > knn->bound_cap) {  // the client's own proven cap; strict
+        ++pruned;
+        continue;
+      }
+      cands.emplace_back(s, lb);
+    }
+    pruned_.fetch_add(pruned, std::memory_order_relaxed);
+    if (cands.empty()) {
+      futures[i] =
+          ResolvedFuture(Response{KnnResult(std::vector<Neighbor>{})});
+      continue;
+    }
+    size_t seed = 0;  // min lower bound; ties resolve to the lower shard
+    for (size_t c = 1; c < cands.size(); ++c) {
+      if (cands[c].second < cands[seed].second) seed = c;
+    }
+    if (!knn_state) {
+      knn_state = std::make_shared<KnnScatter>();
+      knn_state->frontend = this;
+    }
+    KnnScatter::Item item;
+    item.k = knn->k;
+    item.client_cap = knn->bound_cap;
+    item.deadline_micros = request.deadline_micros;
+    item.seed_shard = cands[seed].first;
+    item.deferred.reserve(cands.size() - 1);
+    for (size_t c = 0; c < cands.size(); ++c) {
+      if (c != seed) item.deferred.push_back(cands[c]);
+    }
+    Request sub;  // phase 1: the seed shard, under the client's cap only
+    sub.deadline_micros = request.deadline_micros;
+    sub.payload = KnnPayload{knn->query, knn->k, knn->bound_cap};
+    item.query = std::move(knn->query);
+    knn_plans.push_back(
+        KnnPlan{i, knn_state->items.size(),
+                GatherRef{item.seed_shard, shard_reqs[item.seed_shard].size()}});
+    shard_reqs[item.seed_shard].push_back(std::move(sub));
+    knn_state->items.push_back(std::move(item));
+  }
+
+  // --- Scatter: one batched submission per shard -----------------------
+  std::vector<std::vector<std::future<Response>>> shard_futs(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (shard_reqs[s].empty()) continue;
+    shard_futs[s] = sessions_[s]->SubmitBatch(std::move(shard_reqs[s]));
+  }
+
+  // --- Gather: wire deferred merges ------------------------------------
+  for (ScatterPlan& plan : scatter_plans) {
+    std::vector<std::pair<uint32_t, std::future<Response>>> subs;
+    subs.reserve(plan.subs.size());
+    for (const GatherRef& ref : plan.subs) {
+      subs.emplace_back(ref.shard, std::move(shard_futs[ref.shard][ref.pos]));
+    }
+    if (plan.is_range) {
+      futures[plan.index] = std::async(
+          std::launch::deferred,
+          [n, subs = std::move(subs)]() mutable -> Response {
+            // Union of per-shard hits, remapped to global ids and sorted
+            // ascending — the canonical range order (search_range.cc
+            // sorts each per-query result), so the merge is
+            // byte-identical to a single-index run on a round-robin
+            // partition. Shards the planner pruned contribute nothing by
+            // construction (their balls cannot intersect the query ball).
+            std::vector<uint32_t> merged;
+            Status first_bad = Status::Ok();
+            for (auto& [shard, f] : subs) {
+              RangeResult res = std::move(f.get().range());
+              if (!res.ok()) {
+                if (first_bad.ok()) first_bad = res.status();
+                continue;
+              }
+              for (const uint32_t local : res.value()) {
+                auto gid = ComposeGlobalId(local, shard, n);
+                if (!gid.ok()) {
+                  if (first_bad.ok()) first_bad = gid.status();
+                  break;
+                }
+                merged.push_back(gid.value());
+              }
+            }
+            if (!first_bad.ok()) return Response{RangeResult(first_bad)};
+            std::sort(merged.begin(), merged.end());
+            return Response{RangeResult(std::move(merged))};
+          });
+    } else {
+      futures[plan.index] = std::async(
+          std::launch::deferred,
+          [n, k = plan.k, subs = std::move(subs)]() mutable -> Response {
+            std::vector<Neighbor> merged;
+            Status first_bad = Status::Ok();
+            for (auto& [shard, f] : subs) {
+              KnnResult res = std::move(f.get().knn());
+              if (!res.ok()) {
+                if (first_bad.ok()) first_bad = res.status();
+                continue;
+              }
+              for (const Neighbor& nb : res.value()) {
+                auto gid = ComposeGlobalId(nb.id, shard, n);
+                if (!gid.ok()) {
+                  if (first_bad.ok()) first_bad = gid.status();
+                  break;
+                }
+                merged.push_back(Neighbor{gid.value(), nb.dist});
+              }
+            }
+            if (!first_bad.ok()) return Response{KnnResult(first_bad)};
+            SortNeighbors(&merged);
+            if (merged.size() > k) merged.resize(k);
+            return Response{KnnResult(std::move(merged))};
+          });
+    }
+  }
+  for (const KnnPlan& plan : knn_plans) {
+    knn_state->items[plan.item].seed_future =
+        std::move(shard_futs[plan.seed.shard][plan.seed.pos]);
+    futures[plan.index] =
+        std::async(std::launch::deferred,
+                   [state = knn_state, item = plan.item]() -> Response {
+                     return state->Gather(item);
+                   });
+  }
+  if (knn_state) {
+    // Hand the completed group to the phase-2 driver so the capped
+    // fan-out starts as soon as the seeds land, not when the caller first
+    // gathers (DriverLoop).
+    {
+      std::lock_guard<std::mutex> lock(driver_mu_);
+      driver_queue_.push_back(knn_state);
+    }
+    driver_cv_.notify_one();
+  }
+  return futures;
+}
+
+std::future<Response> ShardedFrontend::SubmitUpdate(Request request) {
   if (sessions_.empty()) {
     return ResolvedFuture(ErrorResponse(
         request, Status::InvalidArgument("frontend has no shards")));
   }
   const uint32_t n = num_shards();
 
-  // --- Reads: scatter to every shard, gather + merge lazily -------------
-  if (const auto* range = std::get_if<RangePayload>(&request.payload)) {
-    auto futures = Scatter(*range, request.deadline_micros);
-    return std::async(
-        std::launch::deferred,
-        [n, futures = std::move(futures)]() mutable -> Response {
-          // Union of per-shard hits, remapped to global ids and sorted
-          // ascending — the canonical range order (search_range.cc sorts
-          // each per-query result), so the merge is byte-identical to a
-          // single-index run on a round-robin partition.
-          std::vector<uint32_t> merged;
-          Status first_bad = Status::Ok();
-          for (uint32_t s = 0; s < n; ++s) {
-            Response r = futures[s].get();
-            RangeResult res = std::move(r.range());
-            if (!res.ok()) {
-              if (first_bad.ok()) first_bad = res.status();
-              continue;
-            }
-            for (const uint32_t local : res.value()) {
-              merged.push_back(local * n + s);  // GlobalId(s, local)
-            }
-          }
-          if (!first_bad.ok()) return Response{RangeResult(first_bad)};
-          std::sort(merged.begin(), merged.end());
-          return Response{RangeResult(std::move(merged))};
-        });
-  }
-  const auto* knn = std::get_if<KnnPayload>(&request.payload);
-  const auto* knn_approx = std::get_if<KnnApproxPayload>(&request.payload);
-  if (knn != nullptr || knn_approx != nullptr) {
-    const uint32_t k = knn != nullptr ? knn->k : knn_approx->k;
-    auto futures = knn != nullptr
-                       ? Scatter(*knn, request.deadline_micros)
-                       : Scatter(*knn_approx, request.deadline_micros);
-    return std::async(
-        std::launch::deferred,
-        [n, k, futures = std::move(futures)]() mutable -> Response {
-          // Each shard returns its top-k in the canonical (dist, id)
-          // order; selection by a total order commutes with partitioning,
-          // so re-sorting the union under the same order and truncating
-          // to k reproduces the single-index answer exactly.
-          std::vector<Neighbor> merged;
-          Status first_bad = Status::Ok();
-          for (uint32_t s = 0; s < n; ++s) {
-            Response r = futures[s].get();
-            KnnResult res = std::move(r.knn());
-            if (!res.ok()) {
-              if (first_bad.ok()) first_bad = res.status();
-              continue;
-            }
-            for (const Neighbor& nb : res.value()) {
-              merged.push_back(Neighbor{nb.id * n + s, nb.dist});
-            }
-          }
-          if (!first_bad.ok()) return Response{KnnResult(first_bad)};
-          std::sort(merged.begin(), merged.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      if (a.dist != b.dist) return a.dist < b.dist;
-                      return a.id < b.id;
-                    });
-          if (merged.size() > k) merged.resize(k);
-          return Response{KnnResult(std::move(merged))};
-        });
-  }
-
-  // --- Updates: route to one shard (Rebuild: all) -----------------------
   if (const auto* insert = std::get_if<InsertPayload>(&request.payload)) {
     if (insert->object.size() != 1) {
       return ResolvedFuture(ErrorResponse(
@@ -169,7 +583,12 @@ std::future<Response> ShardedFrontend::Submit(Request request) {
         [n, shard, future = std::move(future)]() mutable -> Response {
           InsertResult res = std::move(future.get().inserted());
           if (!res.ok()) return Response{InsertResult(res.status())};
-          return Response{InsertResult(res.value() * n + shard)};
+          // An overflowing composition reports the error AFTER the shard
+          // applied the insert — the id space is exhausted, not the
+          // update rolled back.
+          auto gid = ComposeGlobalId(res.value(), shard, n);
+          if (!gid.ok()) return Response{InsertResult(gid.status())};
+          return Response{InsertResult(gid.value())};
         });
   }
   if (auto* remove = std::get_if<RemovePayload>(&request.payload)) {
@@ -198,7 +617,10 @@ std::future<Response> ShardedFrontend::Submit(Request request) {
     }
     // Partition removals by id route and inserts by content hash, then
     // fan one BatchUpdate per shard — every shard reconstructs, matching
-    // the single-index semantics (BatchUpdate always rebuilds).
+    // the single-index semantics (BatchUpdate always rebuilds). Each
+    // sub-request inherits the envelope's deadline target, so a
+    // deadline-audited fan-out is visible on every shard session
+    // (SessionStats::writer_deadline_carried).
     std::vector<std::vector<uint32_t>> removals(n);
     for (const uint32_t id : batch->removals) {
       removals[ShardOfId(id)].push_back(LocalId(id));
@@ -211,14 +633,15 @@ std::future<Response> ShardedFrontend::Submit(Request request) {
     futures.reserve(n);
     for (uint32_t s = 0; s < n; ++s) {
       Request sub;
+      sub.deadline_micros = request.deadline_micros;
       sub.payload = BatchUpdatePayload{batch->inserts.Slice(insert_ids[s]),
                                        std::move(removals[s])};
       futures.push_back(sessions_[s]->Submit(std::move(sub)));
     }
     return GatherStatus(std::move(futures));
   }
-  // Rebuild: every shard reconstructs.
-  return GatherStatus(Scatter(RebuildPayload{}, 0));
+  // Rebuild: every shard reconstructs, deadline target included.
+  return GatherStatus(Scatter(RebuildPayload{}, request.deadline_micros));
 }
 
 void ShardedFrontend::Flush() {
@@ -241,6 +664,8 @@ FrontendStats ShardedFrontend::stats() const {
     out.deadline_missed += s.deadline_missed;
     out.shards.push_back(s);
   }
+  out.scatter_reads = scatter_reads_.load(std::memory_order_relaxed);
+  out.pruned_shard_queries = pruned_.load(std::memory_order_relaxed);
   return out;
 }
 

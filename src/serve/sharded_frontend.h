@@ -15,19 +15,40 @@
 //    rejected here with no state change either; a shard failing MID
 //    update (e.g. its memory budget) does not roll back its siblings —
 //    cross-shard atomicity without a commit protocol is best-effort.
-//  - Reads (Range/Knn/KnnApprox): scatter/gather. The query fans out to
-//    every shard's QuerySession (each with its own dynamic batcher and
-//    admission bound, all flushing onto ONE shared pool-only
+//  - Reads (Range/Knn/KnnApprox): PRUNED scatter/gather. Each shard
+//    publishes a covering ball (GtsIndex::CoveringBall — a pivot object
+//    plus a radius enclosing every alive object of the version), and the
+//    frontend routes against it instead of scattering blindly:
+//      * A range query skips every shard whose ball cannot intersect the
+//        query ball — d(q, pivot_s) - radius_s > r, strictly, so a result
+//        exactly at distance r can never be lost.
+//      * An exact kNN query runs in two phases. Phase 1 submits only to
+//        the seed shard (minimum lower bound d(q, pivot_s) - radius_s);
+//        phase 2 takes the seed's k-th distance as a global upper bound
+//        b, skips every remaining shard with lower bound strictly above
+//        b, and submits to the rest with the bound as a search cap
+//        (KnnPayload::bound_cap -> GtsIndex::KnnQueryBatchBounded). The
+//        cap only tightens pruning: comparisons against it are strict, so
+//        candidates tied at the bound survive, and capped shards may only
+//        drop neighbors that provably cannot enter the global top-k.
+//      * Approximate kNN still scatters to every shard: its per-shard
+//        candidate budget already makes the sharded answer a different
+//        (deterministic) approximation, and a bound would change it
+//        again.
+//    The surviving sub-queries of a SubmitBatch call are coalesced into
+//    ONE batched submission per shard session (each with its own dynamic
+//    batcher and admission bound, all flushing onto ONE shared pool-only
 //    QueryExecutor), and the per-shard answers merge in the canonical
 //    result order — ascending id for range, ascending (dist, id) for kNN,
 //    the same total order GtsIndex::KnnQueryBatch maintains internally.
 //    Selection by a total order commutes with partitioning, so on a
 //    round-robin partition the merged result is byte-identical to a
-//    single index over the whole corpus (enforced by
-//    tests/serve_sharded_test.cc). Approximate kNN scatters too, but its
-//    per-shard candidate budget makes the sharded answer a (deterministic)
-//    different approximation than a single-index run — only exact reads
-//    carry the byte-identity guarantee.
+//    single index over the whole corpus, pruning on or off (enforced by
+//    tests/serve_sharded_test.cc and tests/serve_pruned_scatter_test.cc).
+//    Only exact reads carry the byte-identity guarantee. Pruning
+//    decisions are taken against each shard's version at planning time;
+//    a concurrently published update lands in a later read's plan, the
+//    same freshness contract an unpruned scatter has.
 //
 // Global id mapping. Shard-local object ids interleave into one global id
 // space: global = local * N + shard (N = num_shards). Build the shards as
@@ -51,9 +72,14 @@
 #ifndef GTS_SERVE_SHARDED_FRONTEND_H_
 #define GTS_SERVE_SHARDED_FRONTEND_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/gts.h"
@@ -72,6 +98,11 @@ struct FrontendOptions {
   /// Worker threads of the shared pool all shard flushes run on.
   /// 0 = std::thread::hardware_concurrency() (at least 1).
   uint32_t executor_threads = 4;
+  /// Covering-ball shard pruning + two-phase kNN scatter (the file
+  /// comment). Off = the legacy blind scatter — every read fans to every
+  /// shard. Results are byte-identical either way; the knob exists for
+  /// differential tests and for A/B measurement in the serve bench.
+  bool prune_scatter = true;
 };
 
 /// Whole-frontend counters: per-shard session stats plus sums. A scatter
@@ -84,6 +115,14 @@ struct FrontendStats {
   uint64_t completed = 0;
   uint64_t writer_ops = 0;
   uint64_t deadline_missed = 0;
+  /// Valid reads the frontend planned a scatter for (one per read, not
+  /// per shard).
+  uint64_t scatter_reads = 0;
+  /// Per-shard sub-queries the covering-ball planner skipped. For every
+  /// planned read, submitted sub-queries + pruned sub-queries = N shards
+  /// (exact kNN counts its phase-2 skips here too), so the pruned
+  /// fraction is pruned_shard_queries / (scatter_reads * N).
+  uint64_t pruned_shard_queries = 0;
 };
 
 /// The sharded front door. See the file comment.
@@ -104,6 +143,15 @@ class ShardedFrontend {
   /// `request.tenant` is ignored — routing is by hash and id, not caller
   /// choice. Read responses use frontend-global ids.
   std::future<Response> Submit(Request request);
+
+  /// Batched entry point: plans every read of the group in one pass and
+  /// coalesces the surviving sub-queries into ONE batched submission per
+  /// shard session — one admission lock pass and one dispatcher wake per
+  /// shard for the whole group, instead of per read per shard. Updates in
+  /// the group take the same routed path as Submit. Futures are returned
+  /// in request order; each resolves independently.
+  std::vector<std::future<Response>> SubmitBatch(
+      std::vector<Request> requests);
 
   /// Nudges every shard's batcher (QuerySession::Flush).
   void Flush();
@@ -129,10 +177,18 @@ class ShardedFrontend {
 
   // --- Global id mapping (see the file comment) -------------------------
 
-  /// The global id of shard-local object `local` on `shard`.
+  /// The global id of shard-local object `local` on `shard`. Unchecked
+  /// convenience for tests and round-trip math; the gather paths remap
+  /// through ComposeGlobalId, which range-checks.
   uint32_t GlobalId(uint32_t shard, uint32_t local) const {
     return local * num_shards() + shard;
   }
+  /// The checked global-id composition every merge path uses: the product
+  /// is carried in 64 bits and an id beyond the 32-bit global id space is
+  /// an explicit kInvalidArgument, not a silent wrap (a shard near the
+  /// 2^32 / N boundary would otherwise alias a small id).
+  static Result<uint32_t> ComposeGlobalId(uint64_t local, uint32_t shard,
+                                          uint32_t num_shards);
   /// The shard a global id lives on.
   uint32_t ShardOfId(uint32_t global_id) const {
     return global_id % num_shards();
@@ -147,6 +203,21 @@ class ShardedFrontend {
   uint32_t ShardForObject(const Dataset& src, uint32_t idx) const;
 
  private:
+  struct KnnScatter;  // shared gather state of one batch's exact-kNN reads
+
+  /// The phase-2 driver: a frontend thread that pops each batch's
+  /// KnnScatter group in submission order and runs its phase 2 (wait for
+  /// the seeds, derive the bounds, submit the capped fan-out) as soon as
+  /// the seed results land — WITHOUT waiting for any caller to gather.
+  /// Successive groups' phase-2 sub-queries therefore coalesce in the
+  /// shard batchers and their flushes overlap, instead of serializing
+  /// behind a caller that gathers groups one at a time. Gather keeps its
+  /// own idempotent RunPhase2 fallback, so correctness never depends on
+  /// the driver's progress.
+  void DriverLoop();
+
+  /// Routes one update request (Insert/Remove/BatchUpdate/Rebuild).
+  std::future<Response> SubmitUpdate(Request request);
   /// Fans a copy of `payload` (+ deadline envelope) out to every shard
   /// session, in shard order.
   template <typename Payload>
@@ -162,6 +233,20 @@ class ShardedFrontend {
   /// pool) are destroyed first.
   std::unique_ptr<QueryExecutor> executor_;
   std::vector<std::unique_ptr<QuerySession>> sessions_;
+  /// FrontendStats::scatter_reads / pruned_shard_queries (relaxed
+  /// counters; stats() reads them alongside the per-shard session
+  /// snapshots).
+  std::atomic<uint64_t> scatter_reads_{0};
+  std::atomic<uint64_t> pruned_{0};
+
+  /// Phase-2 driver state (see DriverLoop). The queue holds the groups
+  /// whose phase 2 has not been driven yet; the destructor stops the
+  /// driver before draining the sessions.
+  std::mutex driver_mu_;
+  std::condition_variable driver_cv_;
+  std::deque<std::shared_ptr<KnnScatter>> driver_queue_;
+  bool driver_stop_ = false;
+  std::thread driver_;
 };
 
 }  // namespace gts::serve

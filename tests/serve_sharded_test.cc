@@ -132,8 +132,11 @@ TEST(ServeShardedDifferential, ScatterGatherMatchesSingleIndex) {
         }
         frontend.Drain();
         const serve::FrontendStats stats = frontend.stats();
-        // Scatter accounting: every read fans out to every shard.
-        EXPECT_EQ(stats.submitted, uint64_t{2} * kQueries * num_shards);
+        // Scatter accounting: every planned read resolves each shard
+        // exactly once — as a submitted sub-query or a pruned one.
+        EXPECT_EQ(stats.scatter_reads, uint64_t{2} * kQueries);
+        EXPECT_EQ(stats.submitted + stats.pruned_shard_queries,
+                  uint64_t{2} * kQueries * num_shards);
         EXPECT_EQ(stats.completed, stats.submitted);
         EXPECT_EQ(stats.rejected, 0u);
         ASSERT_EQ(stats.shards.size(), num_shards);
