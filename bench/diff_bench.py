@@ -3,7 +3,7 @@
 
 Usage:
     diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
-                  [--warn-only REGEX] [--require-ratio 'A>=B' ...]
+                  [--warn-only REGEX] [--require-ratio 'A>=[K*]B' ...]
     diff_bench.py --self-test
 
 Series are keyed on (name, dataset). Exit status:
@@ -21,12 +21,13 @@ but never fail the diff — for host-dependent series (wall-clock or
 scheduling-sensitive numbers, e.g. the `gts-serve-stream/` open-loop
 series) checked in next to deterministic modeled-throughput baselines.
 
---require-ratio 'A>=B' (repeatable) asserts an intra-candidate invariant:
-for every dataset where series A appears in the CANDIDATE file, series B
-must also appear and A's throughput must be >= B's. It gates relations
-between series of the same run — e.g. "sharded serving at shards=4 must
-beat shards=1" — which a baseline diff cannot express. Requirements are
-always hard: --warn-only never demotes them.
+--require-ratio 'A>=B' or 'A>=K*B' (repeatable) asserts an intra-candidate
+invariant: for every dataset where series A appears in the CANDIDATE file,
+series B must also appear and A's throughput must be >= K times B's
+(K defaults to 1). It gates relations between series of the same run —
+e.g. "sharded serving at shards=4 must beat shards=1", or "the SIMD block
+kernel must be at least 4x the scalar one" — which a baseline diff cannot
+express. Requirements are always hard: --warn-only never demotes them.
 """
 
 import argparse
@@ -107,16 +108,29 @@ def diff(baseline, candidate, threshold, warn_only=None):
 
 
 def parse_ratio(spec):
-    """Splits one --require-ratio spec 'A>=B' into (A, B).
+    """Splits one --require-ratio spec 'A>=B' or 'A>=K*B' into (A, B, K).
 
     Raises ValueError on a malformed spec. Series names may themselves
     contain '=' (config suffixes like '@shards=4'), so only the two-char
-    token '>=' separates the operands, and it must occur exactly once.
+    token '>=' separates the operands, and it must occur exactly once. The
+    right-hand side may carry a positive multiplier K (e.g. '4*B': A must
+    be at least 4x B's throughput); a bare 'A>=B' means K = 1. Only a
+    leading '<number>*' is a multiplier, so a '*' later in a series name
+    survives.
     """
     parts = spec.split(">=")
     if len(parts) != 2 or not parts[0].strip() or not parts[1].strip():
-        raise ValueError(f"--require-ratio: expected 'A>=B', got {spec!r}")
-    return parts[0].strip(), parts[1].strip()
+        raise ValueError(f"--require-ratio: expected 'A>=[K*]B', got {spec!r}")
+    lhs, rhs = parts[0].strip(), parts[1].strip()
+    factor = 1.0
+    m = re.match(r"(\d+(?:\.\d+)?)\s*\*\s*(.*)$", rhs)
+    if m:
+        factor = float(m.group(1))
+        rhs = m.group(2).strip()
+        if factor <= 0.0 or not rhs:
+            raise ValueError(
+                f"--require-ratio: bad multiplier in {spec!r}")
+    return lhs, rhs, factor
 
 
 def check_ratios(candidate, ratios):
@@ -128,11 +142,11 @@ def check_ratios(candidate, ratios):
     dataset (a silently-missing series must not pass the gate).
     """
     failures = []
-    for lhs, rhs in ratios:
+    for lhs, rhs, factor in ratios:
         datasets = sorted(ds for (name, ds) in candidate if name == lhs)
         if not datasets:
             failures.append(f"{lhs}: series absent from candidate "
-                            f"(required >= {rhs})")
+                            f"(required >= {factor:g}*{rhs})")
             continue
         for ds in datasets:
             other = candidate.get((rhs, ds))
@@ -142,10 +156,12 @@ def check_ratios(candidate, ratios):
                 continue
             a = candidate[(lhs, ds)]["throughput_per_min"]
             b = other["throughput_per_min"]
-            if a < b:
+            if a < factor * b:
                 failures.append(
-                    f"{lhs} [{ds}]: throughput {a:.4g} < {b:.4g} ({rhs}), "
-                    f"ratio {a / b if b else float('inf'):.3f} (required >= 1)"
+                    f"{lhs} [{ds}]: throughput {a:.4g} < {factor:g} * {b:.4g}"
+                    f" ({rhs}), ratio "
+                    f"{a / b if b else float('inf'):.3f}"
+                    f" (required >= {factor:g})"
                 )
     return failures
 
@@ -277,23 +293,40 @@ def self_test():
                 _record("shard/knn@shards=1", "T-Loc", 700.0),
             ],
         )
-        holds = [("shard/knn@shards=4", "shard/knn@shards=1")]
-        violated = [("shard/knn@shards=1", "shard/knn@shards=4")]
+        holds = [("shard/knn@shards=4", "shard/knn@shards=1", 1.0)]
+        violated = [("shard/knn@shards=1", "shard/knn@shards=4", 1.0)]
         check("ratio-holds", run_diff(shard, shard, 0.10,
                                       require_ratios=holds), 0)
         check("ratio-violated", run_diff(shard, shard, 0.10,
                                          require_ratios=violated), 1)
+        # Multiplier form: 900 >= 1.2 * 700 holds, 900 >= 2 * 700 fails.
+        check(
+            "ratio-multiplier-holds",
+            run_diff(shard, shard, 0.10,
+                     require_ratios=[("shard/knn@shards=4",
+                                      "shard/knn@shards=1", 1.2)]),
+            0,
+        )
+        check(
+            "ratio-multiplier-violated",
+            run_diff(shard, shard, 0.10,
+                     require_ratios=[("shard/knn@shards=4",
+                                      "shard/knn@shards=1", 2.0)]),
+            1,
+        )
         # A missing operand is a hard failure, on either side.
         check(
             "ratio-lhs-missing",
             run_diff(shard, shard, 0.10,
-                     require_ratios=[("shard/nope", "shard/knn@shards=1")]),
+                     require_ratios=[("shard/nope", "shard/knn@shards=1",
+                                      1.0)]),
             1,
         )
         check(
             "ratio-rhs-missing",
             run_diff(shard, shard, 0.10,
-                     require_ratios=[("shard/knn@shards=4", "shard/nope")]),
+                     require_ratios=[("shard/knn@shards=4", "shard/nope",
+                                      1.0)]),
             1,
         )
         # warn-only never demotes a requirement failure.
@@ -307,9 +340,19 @@ def self_test():
         check(
             "ratio-parse",
             parse_ratio("a/knn@shards=4,b=32>=a/knn@shards=1,b=32"),
-            ("a/knn@shards=4,b=32", "a/knn@shards=1,b=32"),
+            ("a/knn@shards=4,b=32", "a/knn@shards=1,b=32", 1.0),
         )
-        for bad_spec in ("no-operator", ">=b", "a>=", "a>=b>=c"):
+        check(
+            "ratio-parse-multiplier",
+            parse_ratio("micro/block@simd>=4*micro/block@scalar"),
+            ("micro/block@simd", "micro/block@scalar", 4.0),
+        )
+        check(
+            "ratio-parse-fractional",
+            parse_ratio("a>=2.5 * b"),
+            ("a", "b", 2.5),
+        )
+        for bad_spec in ("no-operator", ">=b", "a>=", "a>=b>=c", "a>=3*"):
             try:
                 parse_ratio(bad_spec)
                 failures.append(f"ratio-bad-spec {bad_spec!r}: "
@@ -391,11 +434,12 @@ def main(argv):
     )
     parser.add_argument(
         "--require-ratio",
-        metavar="'A>=B'",
+        metavar="'A>=[K*]B'",
         action="append",
         default=[],
-        help="require candidate series A's throughput >= series B's on every "
-        "dataset carrying A (repeatable; always a hard failure)",
+        help="require candidate series A's throughput >= K times series B's "
+        "on every dataset carrying A (K defaults to 1; repeatable; always a "
+        "hard failure)",
     )
     parser.add_argument(
         "--self-test",

@@ -44,6 +44,9 @@ Status GtsIndex::BuildTreeOver(const Dataset& data, std::vector<uint32_t> ids,
     MapLevel(data, layer, &rng, out);
     GTS_RETURN_IF_ERROR(PartitionLevel(layer, out));
   }
+  // Lane-pack the final table-list order for the block kernels. A pure
+  // host-side layout copy: no metric work, no modeled device charge.
+  out->pack = SoaPack::Pack(data, out->tl_object);
   return Status::Ok();
 }
 
@@ -71,18 +74,28 @@ uint32_t GtsIndex::SelectPivotFft(const Dataset& data, const TreeTables& t,
     ancestor = ParentNodeId(ancestor, nc);
   }
 
-  uint32_t best = t.tl_object[node.pos];
+  // Score = min distance to the reference set; tl_dis caches the parent
+  // column, deeper ancestors are scored one batched kernel call per
+  // reference (ref-major instead of the historical object-major order —
+  // the same distance multiset, and min() commutes, so the selected pivot
+  // and every counter total are unchanged).
+  const auto objs = std::span<const uint32_t>(t.tl_object)
+                        .subspan(node.pos, node.size);
+  std::vector<float> score(t.tl_dis.begin() + node.pos,
+                           t.tl_dis.begin() + node.pos + node.size);
+  std::vector<float> dist(node.size);
+  for (size_t rix = 1; rix < refs.size(); ++rix) {
+    metric_->DistanceBatch(data, refs[rix], data, objs, dist.data());
+    for (uint32_t j = 0; j < node.size; ++j) {
+      score[j] = std::min(score[j], dist[j]);
+    }
+  }
+  uint32_t best = objs[0];
   float best_score = -1.0f;
   for (uint32_t j = 0; j < node.size; ++j) {
-    const uint32_t obj = t.tl_object[node.pos + j];
-    // min distance to the reference set; tl_dis caches the parent column.
-    float score = t.tl_dis[node.pos + j];
-    for (size_t rix = 1; rix < refs.size(); ++rix) {
-      score = std::min(score, metric_->Distance(data, obj, refs[rix]));
-    }
-    if (score > best_score) {
-      best_score = score;
-      best = obj;
+    if (score[j] > best_score) {
+      best_score = score[j];
+      best = objs[j];
     }
   }
   return best;
@@ -112,14 +125,29 @@ void GtsIndex::MapLevel(const Dataset& data, uint32_t layer, Rng* rng,
   device_->clock().ChargeScan(t->indexed_count);  // per-node argmax reduction
 
   // --- Distance fill (Algorithm 2 lines 6-7): d(object, node pivot).
+  // One batched kernel call per node, with the pivot's own slot written as
+  // literal zero exactly like the historical per-object loop — it is NOT a
+  // metric evaluation and must not be charged as one.
   gpu::KernelDistanceScope scope(device_, metric_, t->indexed_count);
+  std::vector<uint32_t> ids;
+  std::vector<uint32_t> slots;
+  std::vector<float> dist;
   for (uint64_t i = 0; i < count; ++i) {
     const GtsNode& node = t->node_list[start + i];
+    ids.clear();
+    slots.clear();
     for (uint32_t j = 0; j < node.size; ++j) {
       const uint32_t obj = t->tl_object[node.pos + j];
-      t->tl_dis[node.pos + j] =
-          obj == node.pivot ? 0.0f : metric_->Distance(data, obj, node.pivot);
+      if (obj == node.pivot) {
+        t->tl_dis[node.pos + j] = 0.0f;
+      } else {
+        ids.push_back(obj);
+        slots.push_back(node.pos + j);
+      }
     }
+    dist.resize(ids.size());
+    metric_->DistanceBatch(data, node.pivot, data, ids, dist.data());
+    for (size_t j = 0; j < ids.size(); ++j) t->tl_dis[slots[j]] = dist[j];
   }
 }
 

@@ -99,14 +99,19 @@ CoveringBall GtsIndex::ComputeCoveringBall(const Version& v) const {
   ball.valid = true;
   ball.pivot = pivot;
   // One device-wide distance kernel over the alive objects — the same
-  // cost shape as a build level's pivot-distance pass.
+  // cost shape as a build level's pivot-distance pass. Scored as one
+  // batched kernel call; the max-reduction consumes the identical
+  // distance values the per-object loop produced.
   gpu::KernelDistanceScope scope(&device_->clock(), metric_,
                                  live.alive_count);
+  std::vector<uint32_t> ids;
+  ids.reserve(live.alive_count);
   for (uint32_t id = 0; id < data.size(); ++id) {
-    if (!live.alive[id]) continue;
-    ball.radius =
-        std::max(ball.radius, metric_->Distance(data, pivot, data, id));
+    if (live.alive[id]) ids.push_back(id);
   }
+  std::vector<float> dist(ids.size());
+  metric_->DistanceBatch(data, pivot, data, ids, dist.data());
+  for (const float d : dist) ball.radius = std::max(ball.radius, d);
   return ball;
 }
 

@@ -45,6 +45,7 @@
 #include "gpu/device.h"
 #include "metric/dataset.h"
 #include "metric/distance.h"
+#include "metric/soa.h"
 
 namespace gts {
 
@@ -449,6 +450,13 @@ class GtsIndex {
     std::vector<GtsNode> node_list;
     std::vector<uint32_t> tl_object;
     std::vector<float> tl_dis;
+    /// Lane-packed (SoA) mirror of the indexed objects in tl_object order,
+    /// so a leaf's slot range [pos, pos+size) is a contiguous lane range
+    /// and verification scores a whole node with one block-kernel call
+    /// (metric/kernels.h). Built once per (re)build/load — immutable like
+    /// the rest of the tables — and a host-side execution detail: it is
+    /// deliberately absent from IndexBytesOf's modeled device footprint.
+    SoaPack pack;
     uint32_t height = 1;
     uint32_t indexed_count = 0;  ///< objects covered by the tree
   };
@@ -632,6 +640,25 @@ class GtsIndex {
                             QueryContext* ctx) const {
     ++ctx->stats.distance_computations;
     return metric_->Distance(queries, q, ctx->data(), id);
+  }
+  /// Blocked QueryObjectDistance over `count` consecutive table-list slots
+  /// starting at `pos` (slot s scores object tl_object[s], via the tree's
+  /// SoA pack): one kernel call per node instead of one virtual call per
+  /// object, with bitwise-identical distances and identical accounting.
+  void QuerySlotDistances(const Dataset& queries, uint32_t q, uint32_t pos,
+                          uint32_t count, QueryContext* ctx,
+                          float* out) const {
+    ctx->stats.distance_computations += count;
+    metric_->DistanceBlock(queries, q, ctx->data(), ctx->v->tree->pack, pos,
+                           count, out);
+  }
+  /// Batched QueryObjectDistance over explicit object ids (the gather
+  /// path: cache tables, pruned candidate lists). Same equivalence.
+  void QueryObjectDistances(const Dataset& queries, uint32_t q,
+                            std::span<const uint32_t> ids, QueryContext* ctx,
+                            float* out) const {
+    ctx->stats.distance_computations += ids.size();
+    metric_->DistanceBatch(queries, q, ctx->data(), ids, out);
   }
 
   const DistanceMetric* metric_;

@@ -150,17 +150,32 @@ Status GtsIndex::KnnLevel(std::span<const Entry> frontier, uint32_t layer,
     if (!buf_r.ok()) return buf_r.status();
     auto& buf = buf_r.value();
 
-    // Kernel A: pivot distances; each is an exact object distance and
-    // feeds the query's running top-k (Algorithm 5 lines 7-12).
+    // Kernel A: pivot distances, batched per query segment (the frontier
+    // is sorted by query); each is an exact object distance and feeds the
+    // query's running top-k (Algorithm 5 lines 7-12). The Offers happen
+    // after a segment's distances are computed, in the original entry
+    // order — the top-k is a selection, so its content is order-free, and
+    // the pruning bound is only read after this kernel completes.
     std::vector<float> dq(group.size());
     {
       gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
-      for (size_t i = 0; i < group.size(); ++i) {
-        const GtsNode& node = ctx->node(group[i].node);
-        dq[i] = QueryObjectDistance(queries, group[i].query, node.pivot, ctx);
-        if (ctx->alive()[node.pivot]) {
-          (*states)[group[i].query].Offer(node.pivot, dq[i]);
+      std::vector<uint32_t> pivots;
+      size_t i = 0;
+      while (i < group.size()) {
+        size_t j = i;
+        pivots.clear();
+        while (j < group.size() && group[j].query == group[i].query) {
+          pivots.push_back(ctx->node(group[j].node).pivot);
+          ++j;
         }
+        QueryObjectDistances(queries, group[i].query, pivots, ctx,
+                             dq.data() + i);
+        for (size_t t = i; t < j; ++t) {
+          if (ctx->alive()[pivots[t - i]]) {
+            (*states)[group[t].query].Offer(pivots[t - i], dq[t]);
+          }
+        }
+        i = j;
       }
     }
     // The paper locates the running k-th distance with a device-wide
@@ -232,20 +247,34 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
   }
   ctx->clock.ChargeScan(frontier.size());
 
+  // Kernel A scores each seed leaf with one block call per run of alive
+  // slots (the whole leaf when nothing is tombstoned), then feeds the
+  // top-k in slot order — the evaluated set and every Offer are identical
+  // to the historical per-object loop.
   uint64_t seed_scanned = 0;
   {
     gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                    gpu::KernelDistanceScope::kAutoItems);
+    std::vector<float> dist;
     for (const size_t i : seed_entry) {
       if (i == SIZE_MAX) continue;
       const Entry& e = frontier[i];
       const GtsNode& leaf = ctx->node(e.node);
       seed_scanned += leaf.size;
-      for (uint32_t j = 0; j < leaf.size; ++j) {
-        const uint32_t id = tl_object[leaf.pos + j];
-        if (!alive[id]) continue;
-        (*states)[e.query].Offer(
-            id, QueryObjectDistance(queries, e.query, id, ctx));
+      for (uint32_t j = 0; j < leaf.size;) {
+        if (!alive[tl_object[leaf.pos + j]]) {
+          ++j;
+          continue;
+        }
+        uint32_t run = j + 1;
+        while (run < leaf.size && alive[tl_object[leaf.pos + run]]) ++run;
+        dist.resize(run - j);
+        QuerySlotDistances(queries, e.query, leaf.pos + j, run - j, ctx,
+                           dist.data());
+        for (uint32_t t = j; t < run; ++t) {
+          (*states)[e.query].Offer(tl_object[leaf.pos + t], dist[t - j]);
+        }
+        j = run;
       }
     }
   }
@@ -309,7 +338,12 @@ void GtsIndex::VerifyKnnLeaves(std::span<const Entry> frontier,
     }
   }
 
-  // Kernel B2: exact verification feeding the running top-k.
+  // Kernel B2: exact verification feeding the running top-k. Deliberately
+  // NOT batched: each candidate's gap is re-checked against the bound the
+  // previous Offers just tightened, so whether a distance is evaluated at
+  // all depends on the preceding evaluations. Blocking this loop would
+  // change the evaluated set (and the counters and modeled cost with it);
+  // the bound-interleaved scan is the price of Algorithm 5's early-exit.
   gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  gpu::KernelDistanceScope::kAutoItems);
   for (const Candidate& c : candidates) {
@@ -333,9 +367,11 @@ void GtsIndex::SearchCacheKnn(const Dataset& queries,
   gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());
+  std::vector<float> dist(ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {
-    for (const uint32_t id : ids) {
-      (*states)[q].Offer(id, QueryObjectDistance(queries, q, id, ctx));
+    QueryObjectDistances(queries, q, ids, ctx, dist.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      (*states)[q].Offer(ids[i], dist[i]);
     }
   }
 }

@@ -117,13 +117,24 @@ Status GtsIndex::RangeLevel(std::span<const Entry> frontier, uint32_t layer,
     if (!buf_r.ok()) return buf_r.status();
     auto& buf = buf_r.value();
 
-    // Kernel A: one distance per entry to the entry node's pivot.
+    // Kernel A: one distance per entry to the entry node's pivot, batched
+    // over each query's contiguous segment (the frontier is sorted by
+    // query) — same evaluations, one kernel call per segment.
     std::vector<float> dq(group.size());
     {
       gpu::KernelDistanceScope scope(&ctx->clock, metric_, group.size());
-      for (size_t i = 0; i < group.size(); ++i) {
-        dq[i] = QueryObjectDistance(queries, group[i].query,
-                                    ctx->node(group[i].node).pivot, ctx);
+      std::vector<uint32_t> pivots;
+      size_t i = 0;
+      while (i < group.size()) {
+        size_t j = i;
+        pivots.clear();
+        while (j < group.size() && group[j].query == group[i].query) {
+          pivots.push_back(ctx->node(group[j].node).pivot);
+          ++j;
+        }
+        QueryObjectDistances(queries, group[i].query, pivots, ctx,
+                             dq.data() + i);
+        i = j;
       }
     }
     ctx->stats.nodes_visited += group.size();
@@ -181,12 +192,54 @@ void GtsIndex::VerifyRangeLeaves(std::span<const Entry> frontier,
   ctx->clock.ChargeKernel(scanned, scanned * 2);
   ctx->stats.objects_verified += scanned;
 
-  // Phase 2: exact verification of surviving candidates.
+  // Phase 2: exact verification of surviving candidates — the block-kernel
+  // fast path. Candidates are grouped per query (frontier order), and
+  // within a query runs of consecutive table slots (a leaf surviving the
+  // pivot filter intact) score through the SoA pack with one kernel call;
+  // isolated survivors coalesce into one gather call per query. Either
+  // path produces the bitwise-identical distances of the historical
+  // per-object loop, and results are emitted in the same candidate order.
   gpu::KernelDistanceScope scope(&ctx->clock, metric_, candidates.size());
-  for (const auto& [q, idx] : candidates) {
-    const uint32_t id = tl_object[idx];
-    const float d = QueryObjectDistance(queries, q, id, ctx);
-    if (d <= radii[q]) (*out)[q].push_back(id);
+  std::vector<float> dist;
+  std::vector<uint32_t> single_ids;
+  std::vector<size_t> single_pos;
+  size_t i = 0;
+  while (i < candidates.size()) {
+    const uint32_t q = candidates[i].first;
+    size_t end = i;
+    while (end < candidates.size() && candidates[end].first == q) ++end;
+    dist.resize(end - i);
+    single_ids.clear();
+    single_pos.clear();
+    for (size_t s = i; s < end;) {
+      size_t run = s + 1;
+      while (run < end &&
+             candidates[run].second == candidates[run - 1].second + 1) {
+        ++run;
+      }
+      if (run - s > 1) {
+        QuerySlotDistances(queries, q, candidates[s].second,
+                           static_cast<uint32_t>(run - s), ctx,
+                           dist.data() + (s - i));
+      } else {
+        single_ids.push_back(tl_object[candidates[s].second]);
+        single_pos.push_back(s - i);
+      }
+      s = run;
+    }
+    if (!single_ids.empty()) {
+      std::vector<float> gathered(single_ids.size());
+      QueryObjectDistances(queries, q, single_ids, ctx, gathered.data());
+      for (size_t g = 0; g < single_ids.size(); ++g) {
+        dist[single_pos[g]] = gathered[g];
+      }
+    }
+    for (size_t s = i; s < end; ++s) {
+      if (dist[s - i] <= radii[q]) {
+        (*out)[q].push_back(tl_object[candidates[s].second]);
+      }
+    }
+    i = end;
   }
 }
 
@@ -199,10 +252,11 @@ void GtsIndex::SearchCacheRange(const Dataset& queries,
   gpu::KernelDistanceScope scope(&ctx->clock, metric_,
                                  static_cast<uint64_t>(queries.size()) *
                                      ids.size());
+  std::vector<float> dist(ids.size());
   for (uint32_t q = 0; q < queries.size(); ++q) {
-    for (const uint32_t id : ids) {
-      const float d = QueryObjectDistance(queries, q, id, ctx);
-      if (d <= radii[q]) (*out)[q].push_back(id);
+    QueryObjectDistances(queries, q, ids, ctx, dist.data());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (dist[i] <= radii[q]) (*out)[q].push_back(ids[i]);
     }
   }
 }

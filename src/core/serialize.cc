@@ -150,6 +150,10 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Load(const std::string& path,
     cache->Add(id, data.value().ObjectBytes(id));
   }
 
+  // The SoA pack is derived state like the covering ball: rebuilt from the
+  // validated tables, never serialized (file format unchanged).
+  tree->pack = SoaPack::Pack(data.value(), tree->tl_object);
+
   std::unique_ptr<GtsIndex> index(new GtsIndex(
       metric, device, options, data.value().kind(), data.value().dim()));
   auto version = std::make_unique<Version>();

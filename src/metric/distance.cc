@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
+
+#include "metric/kernels.h"
+#include "metric/simd.h"
+#include "metric/soa.h"
 
 namespace gts {
 
@@ -25,6 +28,7 @@ class L1Metric final : public DistanceMetric {
   bool SupportsKind(DataKind k) const override {
     return k == DataKind::kFloatVector;
   }
+  bool UsesBlockKernels() const override { return true; }
 
  protected:
   float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
@@ -44,6 +48,7 @@ class L2Metric final : public DistanceMetric {
   bool SupportsKind(DataKind k) const override {
     return k == DataKind::kFloatVector;
   }
+  bool UsesBlockKernels() const override { return true; }
 
  protected:
   float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
@@ -69,6 +74,7 @@ class AngularCosineMetric final : public DistanceMetric {
   bool SupportsKind(DataKind k) const override {
     return k == DataKind::kFloatVector;
   }
+  bool UsesBlockKernels() const override { return true; }
 
  protected:
   float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
@@ -92,43 +98,87 @@ class AngularCosineMetric final : public DistanceMetric {
   }
 };
 
-// Levenshtein edit distance, two-row DP; ops = #cells computed.
+// Levenshtein edit distance. The scalar tier runs the two-row DP, wider
+// tiers the Myers bit-parallel kernel (metric/kernels.h) — both exact, so
+// the value is tier-independent. The charged cost is the DP cell count
+// m*n either way: the performance model prices the logical work of the
+// metric, not the backend that happened to execute it.
 class EditMetric final : public DistanceMetric {
  public:
   MetricKind kind() const override { return MetricKind::kEdit; }
   bool SupportsKind(DataKind k) const override {
     return k == DataKind::kString;
   }
+  bool UsesBlockKernels() const override { return true; }
 
  protected:
   float DistanceImpl(const Dataset& a, uint32_t i, const Dataset& b,
                      uint32_t j) const override {
-    std::string_view sa = a.String(i);
-    std::string_view sb = b.String(j);
-    if (sa.size() > sb.size()) std::swap(sa, sb);  // sa is the shorter
-    const size_t m = sa.size(), n = sb.size();
-    if (m == 0) return static_cast<float>(n);
-    // Reused DP row; thread_local so concurrent query threads do not share
-    // scratch.
-    static thread_local std::vector<uint32_t> row;
-    row.resize(m + 1);
-    for (size_t x = 0; x <= m; ++x) row[x] = static_cast<uint32_t>(x);
-    for (size_t y = 1; y <= n; ++y) {
-      uint32_t diag = row[0];
-      row[0] = static_cast<uint32_t>(y);
-      for (size_t x = 1; x <= m; ++x) {
-        const uint32_t sub = diag + (sa[x - 1] != sb[y - 1] ? 1 : 0);
-        diag = row[x];
-        row[x] = std::min({row[x] + 1, row[x - 1] + 1, sub});
-      }
-    }
-    AddOps(static_cast<uint64_t>(m) * n);
-    return static_cast<float>(row[m]);
+    const std::string_view sa = a.String(i);
+    const std::string_view sb = b.String(j);
+    AddOps(static_cast<uint64_t>(sa.size()) * sb.size());
+    return static_cast<float>(
+        kernels::EditDistance(simd::ActiveTier(), sa, sb));
   }
-
 };
 
 }  // namespace
+
+void DistanceMetric::DistanceBatch(const Dataset& qd, uint32_t qi,
+                                   const Dataset& objects,
+                                   std::span<const uint32_t> ids,
+                                   float* out) const {
+  if (ids.empty()) return;
+  if (!UsesBlockKernels()) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out[i] = Distance(qd, qi, objects, ids[i]);
+    }
+    return;
+  }
+  const uint64_t n = ids.size();
+  calls_.fetch_add(n, std::memory_order_relaxed);
+  tls_calls_ += n;
+  // Charge exactly what n per-object Distance() calls would have charged.
+  uint64_t ops = n * kDistanceCallOps;
+  const MetricKind k = kind();
+  switch (k) {
+    case MetricKind::kL1:
+    case MetricKind::kL2:
+      ops += n * objects.dim();
+      break;
+    case MetricKind::kAngularCosine:
+      ops += n * 3ull * objects.dim();
+      break;
+    case MetricKind::kEdit: {
+      const uint64_t qlen = qd.String(qi).size();
+      for (const uint32_t id : ids) ops += qlen * objects.String(id).size();
+      break;
+    }
+  }
+  AddOps(ops);
+  kernels::ScoreIds(k, simd::ActiveTier(), qd, qi, objects, ids, out);
+}
+
+void DistanceMetric::DistanceBlock(const Dataset& qd, uint32_t qi,
+                                   const Dataset& objects, const SoaPack& pack,
+                                   uint32_t pos, uint32_t count,
+                                   float* out) const {
+  if (count == 0) return;
+  if (pack.kind() != DataKind::kFloatVector || !UsesBlockKernels()) {
+    // Strings have no lane-packed payload, and custom metrics must run
+    // their own DistanceImpl; score by id from the pack order.
+    DistanceBatch(qd, qi, objects, pack.order().subspan(pos, count), out);
+    return;
+  }
+  calls_.fetch_add(count, std::memory_order_relaxed);
+  tls_calls_ += count;
+  const MetricKind k = kind();
+  const uint64_t per_obj =
+      (k == MetricKind::kAngularCosine ? 3ull : 1ull) * pack.dim();
+  AddOps(count * (per_obj + kDistanceCallOps));
+  kernels::ScoreBlockFloat(k, simd::ActiveTier(), qd.Vector(qi).data(), pack,
+                           pos, count, out);
+}
 
 std::unique_ptr<DistanceMetric> MakeMetric(MetricKind kind) {
   switch (kind) {

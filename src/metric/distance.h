@@ -8,11 +8,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "metric/dataset.h"
 
 namespace gts {
+
+class SoaPack;
 
 enum class MetricKind {
   kL1,             ///< Manhattan distance (Color)
@@ -62,8 +65,30 @@ class DistanceMetric {
     return Distance(d, i, d, j);
   }
 
+  /// Scores query object `qi` of `qd` against every object in `ids`,
+  /// writing ids.size() distances to `out`. Bitwise-identical to calling
+  /// Distance(qd, qi, objects, id) per id — including the work counters
+  /// (ids.size() calls, the same per-object ops) — but runs the dispatched
+  /// block kernels (metric/kernels.h), vectorizing across objects.
+  void DistanceBatch(const Dataset& qd, uint32_t qi, const Dataset& objects,
+                     std::span<const uint32_t> ids, float* out) const;
+
+  /// Same contract over `count` consecutive slots of a SoaPack starting at
+  /// `pos` — the leaf fast path: contiguous lane-major loads instead of a
+  /// per-object gather. Slot s scores object pack.order()[s] of `objects`.
+  void DistanceBlock(const Dataset& qd, uint32_t qi, const Dataset& objects,
+                     const SoaPack& pack, uint32_t pos, uint32_t count,
+                     float* out) const;
+
   virtual MetricKind kind() const = 0;
   std::string_view Name() const { return MetricKindName(kind()); }
+
+  /// True when this metric's arithmetic IS the dispatched kernel family for
+  /// kind() — the built-in metrics. Custom subclasses (tests wrap metrics
+  /// to intercept evaluations) default to false, and the batch entry
+  /// points then run their per-object DistanceImpl instead of the kernels,
+  /// so overridden arithmetic and side effects are never bypassed.
+  virtual bool UsesBlockKernels() const { return false; }
 
   /// True if this metric applies to datasets of the given kind.
   virtual bool SupportsKind(DataKind kind) const = 0;

@@ -1,0 +1,108 @@
+#include "metric/simd.h"
+
+#include <atomic>
+#include <string>
+
+#include "common/env.h"
+
+// The per-tier translation units (kernels_avx2.cc / kernels_avx512.cc) are
+// added to the build only when the compiler accepts the ISA flags; CMake
+// defines these macros to match so the dispatcher knows what it links.
+#ifndef GTS_HAVE_KERNELS_AVX2
+#define GTS_HAVE_KERNELS_AVX2 0
+#endif
+#ifndef GTS_HAVE_KERNELS_AVX512
+#define GTS_HAVE_KERNELS_AVX512 0
+#endif
+
+namespace gts::simd {
+
+namespace {
+
+// Test-override slot: -1 = none, otherwise a Tier value. Relaxed atomics —
+// ScopedTierForTest documents single-threaded use.
+std::atomic<int> g_tier_override{-1};
+
+bool CpuSupports([[maybe_unused]] Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  return tier == Tier::kScalar;
+#endif
+}
+
+Tier ResolveFromEnv() {
+  if (GetEnvInt64("GTS_FORCE_SCALAR", 0) != 0) return Tier::kScalar;
+  const std::string request = GetEnvString("GTS_SIMD", "auto");
+  if (request == "scalar") return Tier::kScalar;
+  // Requests above what the host can run clamp DOWN to the best runnable
+  // tier: a CI leg exporting GTS_SIMD=avx512 ("widest") stays green on an
+  // AVX2-only runner, it just exercises the widest tier that exists there.
+  if (request == "avx2") {
+    return BestTier() >= Tier::kAvx2 ? Tier::kAvx2 : BestTier();
+  }
+  return BestTier();  // "avx512", "auto", or anything unrecognized
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool TierCompiled(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return true;
+    case Tier::kAvx2: return GTS_HAVE_KERNELS_AVX2 != 0;
+    case Tier::kAvx512: return GTS_HAVE_KERNELS_AVX512 != 0;
+  }
+  return false;
+}
+
+bool TierSupportedByCpu(Tier tier) { return CpuSupports(tier); }
+
+Tier BestTier() {
+  static const Tier best = [] {
+    if (TierCompiled(Tier::kAvx512) && CpuSupports(Tier::kAvx512)) {
+      return Tier::kAvx512;
+    }
+    if (TierCompiled(Tier::kAvx2) && CpuSupports(Tier::kAvx2)) {
+      return Tier::kAvx2;
+    }
+    return Tier::kScalar;
+  }();
+  return best;
+}
+
+Tier ActiveTier() {
+  const int override_tier = g_tier_override.load(std::memory_order_relaxed);
+  if (override_tier >= 0) return static_cast<Tier>(override_tier);
+  static const Tier from_env = ResolveFromEnv();
+  return from_env;
+}
+
+ScopedTierForTest::ScopedTierForTest(Tier tier)
+    : saved_(g_tier_override.load(std::memory_order_relaxed)) {
+  const Tier clamped = tier <= BestTier() ? tier : BestTier();
+  g_tier_override.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+ScopedTierForTest::~ScopedTierForTest() {
+  g_tier_override.store(saved_, std::memory_order_relaxed);
+}
+
+}  // namespace gts::simd

@@ -1,0 +1,72 @@
+// Runtime CPU dispatch for the vectorized distance kernels (metric/kernels.h).
+//
+// A tier names one implementation family of the block kernels. Every tier is
+// ALWAYS buildable: the AVX2/AVX-512 translation units are compiled only when
+// the compiler supports the ISA flags (see CMakeLists.txt), and a tier is
+// runnable only when it is both compiled in and supported by the executing
+// CPU — so the same binary runs correctly on any x86-64 host, and non-x86
+// hosts simply degrade to the scalar tier.
+//
+// The equivalence contract: all tiers of one kernel produce bitwise-identical
+// outputs. The vector kernels parallelize ACROSS objects (one lane per
+// object) and keep each lane's arithmetic — operand order, float/double
+// promotions, accumulation order — exactly the scalar implementation's, so
+// equality is by construction, not by tolerance (tests/metric_kernel_test.cc
+// fuzzes it; the CI `kernel-dispatch` leg proves whole-query byte-identity
+// across forced tiers).
+#ifndef GTS_METRIC_SIMD_H_
+#define GTS_METRIC_SIMD_H_
+
+namespace gts::simd {
+
+/// Dispatch tiers, ordered by width. kAvx2 processes doubles 4 per vector,
+/// kAvx512 8 per vector; kScalar is the reference implementation. The edit
+/// metric has no lane parallelism — for it any tier above kScalar selects
+/// the Myers bit-parallel kernel instead of the DP reference.
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* TierName(Tier tier);
+
+/// True when `tier`'s translation unit was compiled into this binary.
+bool TierCompiled(Tier tier);
+
+/// True when the executing CPU can run `tier` (cpuid probe; compiled-in
+/// status is checked separately).
+bool TierSupportedByCpu(Tier tier);
+
+/// Widest tier that is both compiled in and CPU-supported.
+Tier BestTier();
+
+/// The tier the dispatched entry points (DistanceMetric::DistanceBatch /
+/// DistanceBlock) use. Resolution order, cached after the first call:
+///   1. A test override installed via ScopedTierForTest.
+///   2. GTS_FORCE_SCALAR=1 in the environment -> kScalar.
+///   3. GTS_SIMD in the environment: "scalar", "avx2", "avx512" request a
+///      tier (clamped down to BestTier() when the host cannot run it, so a
+///      forced-widest CI leg stays green on any runner); "auto" or unset ->
+///      BestTier().
+Tier ActiveTier();
+
+/// Installs `tier` as the active tier for this scope (clamped to
+/// BestTier()), restoring the previous state on destruction. For tests and
+/// benches that compare tiers within one process; not thread-safe against
+/// concurrent ActiveTier() consumers mid-swap, so scope it around
+/// single-threaded sections.
+class ScopedTierForTest {
+ public:
+  explicit ScopedTierForTest(Tier tier);
+  ~ScopedTierForTest();
+  ScopedTierForTest(const ScopedTierForTest&) = delete;
+  ScopedTierForTest& operator=(const ScopedTierForTest&) = delete;
+
+ private:
+  int saved_;  // previous override slot value (-1 = none)
+};
+
+}  // namespace gts::simd
+
+#endif  // GTS_METRIC_SIMD_H_

@@ -1,0 +1,25 @@
+#include "metric/soa.h"
+
+namespace gts {
+
+SoaPack SoaPack::Pack(const Dataset& data, std::span<const uint32_t> order) {
+  SoaPack pack;
+  pack.kind_ = data.kind();
+  pack.dim_ = data.dim();
+  pack.size_ = static_cast<uint32_t>(order.size());
+  pack.order_.assign(order.begin(), order.end());
+  if (data.kind() != DataKind::kFloatVector || order.empty()) return pack;
+
+  const uint32_t dim = data.dim();
+  const size_t blocks = (order.size() + kLane - 1) / kLane;
+  pack.values_.assign(blocks * dim * kLane, 0.0f);  // zero tail padding
+  for (size_t s = 0; s < order.size(); ++s) {
+    const std::span<const float> v = data.Vector(order[s]);
+    float* block = pack.values_.data() + (s / kLane) * dim * kLane;
+    const size_t lane = s % kLane;
+    for (uint32_t d = 0; d < dim; ++d) block[d * kLane + lane] = v[d];
+  }
+  return pack;
+}
+
+}  // namespace gts

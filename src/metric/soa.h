@@ -1,0 +1,76 @@
+// Lane-packed (SoA) object storage feeding the block distance kernels.
+//
+// The Dataset stores float vectors object-major (all of object i's
+// dimensions contiguous). The block kernels parallelize ACROSS objects —
+// lane l of a vector register works on object l of a block — so they want
+// the transpose: for each dimension, the values of kLane consecutive
+// objects contiguous. SoaPack is that transpose, taken over an explicit
+// object order (the tree's table-list order, so a leaf's slot range
+// [pos, pos+size) is a contiguous lane range):
+//
+//   slot s -> block b = s / kLane, lane l = s % kLane
+//   values_[(b * dim + d) * kLane + l] = data[order[s]][d]
+//
+//   block 0                          block 1
+//   d0: s0 s1 s2 s3 s4 s5 s6 s7  |  d0: s8 s9 ...
+//   d1: s0 s1 s2 s3 s4 s5 s6 s7  |  d1: s8 s9 ...
+//   ...                          |  ...
+//
+// Tail lanes of the last block are zero-padded; kernels may compute padding
+// lanes but never emit them. String datasets have no lane parallelism (the
+// edit kernel is bit-parallel within one pair instead), so for them the pack
+// only records the slot order and objects are fetched from the Dataset.
+#ifndef GTS_METRIC_SOA_H_
+#define GTS_METRIC_SOA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metric/dataset.h"
+
+namespace gts {
+
+class SoaPack {
+ public:
+  /// Objects per block — one AVX-512 double vector's worth twice over, and
+  /// fixed regardless of the dispatched tier so the layout (and every
+  /// result derived from it) is ISA-independent.
+  static constexpr uint32_t kLane = 8;
+
+  SoaPack() = default;
+
+  /// Packs `data`'s objects in `order` (slot s holds object order[s]).
+  static SoaPack Pack(const Dataset& data, std::span<const uint32_t> order);
+
+  DataKind kind() const { return kind_; }
+  uint32_t dim() const { return dim_; }
+  /// Number of packed slots (== order().size()).
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Slot -> object id mapping the pack was built with.
+  std::span<const uint32_t> order() const { return order_; }
+
+  /// First float of `block` (dim * kLane floats, dimension-major). Only
+  /// meaningful for kFloatVector packs.
+  const float* BlockPtr(uint32_t block) const {
+    return values_.data() + static_cast<size_t>(block) * dim_ * kLane;
+  }
+
+  /// Storage footprint of the packed payload, in bytes.
+  uint64_t bytes() const {
+    return values_.size() * sizeof(float) + order_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  DataKind kind_ = DataKind::kFloatVector;
+  uint32_t dim_ = 0;
+  uint32_t size_ = 0;
+  std::vector<float> values_;    // kFloatVector payload, lane-packed
+  std::vector<uint32_t> order_;  // slot -> object id
+};
+
+}  // namespace gts
+
+#endif  // GTS_METRIC_SOA_H_
