@@ -51,6 +51,21 @@
 // in CI: shards=4 must not fall below shards=1 (diff_bench.py
 // --require-ratio); the latency columns stay warn-only.
 //
+// `--faults` runs the replica-failover phase on T-Loc: the corpus in 2
+// shards x 2 replicas behind one ShardedFrontend, range-read waves poured
+// through SubmitBatch three times — healthy (nothing armed), flaky
+// (replica 1's flushes die with p=0.3 via the deterministic fault
+// registry), dead (p=1.0: replica 1 of every shard is gone) — with the
+// registry reseeded identically before each mode. The REPLICAS OF A SHARD
+// SHARE that shard's one simulated device (replication is an availability
+// model, not extra hardware), so every query still executes exactly once
+// no matter which replica serves it and the three modeled makespans are
+// directly comparable. Recorded as `gts-serve-replica/...` series, one per
+// mode. CI hard-gates dead >= 0.5x healthy modeled throughput
+// (diff_bench.py --require-ratio): losing a replica may cost failover
+// work, but must never halve the serving plane. Latency columns stay
+// warn-only — dead-mode wall time honestly includes the failover retries.
+//
 // `--mvcc` runs the rebuild-storm phase on T-Loc: reader threads repeat
 // range batches directly against the index while a writer thread loops
 // full Rebuilds back-to-back. Because reads pin an epoch-protected
@@ -73,6 +88,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/fault.h"
 #include "common/timer.h"
 #include "core/gts.h"
 #include "serve/query_executor.h"
@@ -958,6 +974,224 @@ void RunMvccPhase(const bench::BenchEnv& env, GtsIndex* index) {
               ratio);
 }
 
+// ---------------------------------------------------------------------------
+// Replica-failover (fault-injection) phase.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kReplicaShards = 2;
+constexpr uint32_t kReplicaRf = 2;
+constexpr uint32_t kReplicaReads = 512;
+/// One fixed seed drives every fault decision of the phase, reseeded
+/// before each mode: the flaky schedule is identical run to run, so the
+/// series diff cleanly.
+constexpr uint64_t kReplicaBenchSeed = 0x6774735f62656e63ull;  // "gts_benc"
+
+struct ReplicaModeResult {
+  double qpm_model = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  uint64_t completed = 0;
+  serve::FrontendStats stats;
+};
+
+/// One mode's run: range-read waves through a fresh frontend over the
+/// shared index layout. `flush_p` > 0 arms `session.flush` against
+/// fault key 1 — every replica session is keyed with its replica rank, so
+/// this kills (or flakes) replica 1 of EVERY shard while replica 0 stays
+/// a healthy failover target.
+ReplicaModeResult RunReplicaMode(
+    const std::vector<std::vector<GtsIndex*>>& layout,
+    const std::vector<gpu::Device*>& devices, const Dataset& queries,
+    float radius, double flush_p) {
+  fault::Registry& reg = fault::Registry::Instance();
+  reg.ResetForTest(kReplicaBenchSeed);
+  if (flush_p > 0.0) {
+    fault::FaultSpec spec;
+    spec.probability = flush_p;
+    spec.has_match_key = true;
+    spec.match_key = 1;
+    reg.Arm("session.flush", spec);
+  }
+
+  serve::FrontendOptions options;
+  options.session.max_batch = kShardBatchBudget;
+  options.session.max_wait_micros = 200;
+  options.session.max_queue = 4 * kShardBatchBudget;
+  options.session.admission = serve::AdmissionPolicy::kBlock;
+  options.executor_threads = kShardThreads;
+  // Dead mode retires the replica for good: probing a permanently dead
+  // replica during a steady-state measurement only re-pays the discovery
+  // cost every probe_period-th pick. Flaky keeps the default probe cycle —
+  // recoveries (and the re-failures they invite) are the mode's point.
+  if (flush_p >= 1.0) options.probe_period = 0;
+  serve::ShardedFrontend frontend(layout, options);
+
+  ReplicaModeResult r;
+  std::vector<double> latencies_ms;
+  ResponseCollector collector([&](serve::Response res, double ms) {
+    if (res.ok()) {
+      ++r.completed;
+      latencies_ms.push_back(ms);
+    }
+  });
+
+  // Unmeasured warm-up: two waves take every replica group through enough
+  // round-robin picks to discover a dead replica (pick 0 → replica 0,
+  // pick 1 → replica 1), so the measured run is the STEADY state of the
+  // mode — the availability claim the gate tests — and not the one-time
+  // discovery transient. Failed-over warm-up reads retry as singles,
+  // whose per-flush launch overhead would otherwise dominate the modeled
+  // makespan. The failover/unhealthy counters still include the warm-up
+  // (stats are cumulative), which is what the printed row reports.
+  for (uint32_t w = 0; w < 2; ++w) {
+    std::vector<serve::Request> warm;
+    warm.reserve(kShardBatchBudget);
+    for (uint32_t i = 0; i < kShardBatchBudget; ++i) {
+      warm.push_back(serve::Request::Range(
+          queries, (w * kShardBatchBudget + i) % queries.size(), radius));
+    }
+    for (auto& fut : frontend.SubmitBatch(std::move(warm))) (void)fut.get();
+  }
+
+  std::vector<double> dev_sim0(devices.size());
+  for (size_t d = 0; d < devices.size(); ++d) {
+    dev_sim0[d] = devices[d]->clock().ElapsedSeconds();
+  }
+  uint32_t issued = 0;
+  while (issued < kReplicaReads) {
+    const uint32_t wave = std::min(kShardBatchBudget, kReplicaReads - issued);
+    std::vector<serve::Request> group;
+    group.reserve(wave);
+    for (uint32_t i = 0; i < wave; ++i) {
+      group.push_back(serve::Request::Range(
+          queries, (issued + i) % queries.size(), radius));
+    }
+    const auto submitted = ResponseCollector::Clock::now();
+    auto futures = frontend.SubmitBatch(std::move(group));
+    for (auto& fut : futures) collector.Add(std::move(fut), submitted);
+    issued += wave;
+  }
+  collector.Finish();
+  frontend.Drain();
+  reg.ResetForTest(kReplicaBenchSeed);  // disarm before the next mode
+
+  // Per-device makespan, exactly as the sharded phase: the shard devices
+  // run in parallel, replicas of a shard SHARE its device, so the modeled
+  // time is the slowest shard clock's delta and each query is paid for
+  // exactly once whichever replica served it.
+  double sim_delta = 0.0;
+  for (size_t d = 0; d < devices.size(); ++d) {
+    sim_delta = std::max(sim_delta,
+                         devices[d]->clock().ElapsedSeconds() - dev_sim0[d]);
+  }
+  r.qpm_model = bench::ThroughputPerMin(
+      static_cast<uint32_t>(r.completed), sim_delta);
+  r.p50_ms = bench::PercentileOf(latencies_ms, 0.50);
+  r.p95_ms = bench::PercentileOf(latencies_ms, 0.95);
+  r.stats = frontend.stats();
+  return r;
+}
+
+void RunReplicaFaultsPhase(const bench::BenchEnv& env) {
+  GtsOptions options;
+  options.node_capacity = env.Context().gts_node_capacity;
+  options.seed = env.Context().seed;
+  gpu::DeviceOptions dev_options;
+  dev_options.lanes = env.device->clock().config().lanes;
+  dev_options.ns_per_op = env.device->clock().config().ns_per_op;
+  dev_options.launch_overhead_ns =
+      env.device->clock().config().launch_overhead_ns;
+  dev_options.memory_bytes = env.device->memory_bytes();
+
+  // One device per SHARD; every replica of a shard is built from the same
+  // round-robin slice onto that shared device (identical replicas — the
+  // byte-identity contract tests/serve_replica_test.cc proves).
+  std::vector<std::unique_ptr<gpu::Device>> owned_devices;
+  std::vector<gpu::Device*> devices;
+  std::vector<std::unique_ptr<GtsIndex>> owned;
+  std::vector<std::vector<GtsIndex*>> layout(kReplicaShards);
+  for (uint32_t s = 0; s < kReplicaShards; ++s) {
+    std::vector<uint32_t> ids;
+    for (uint32_t g = s; g < env.data.size(); g += kReplicaShards) {
+      ids.push_back(g);
+    }
+    owned_devices.push_back(std::make_unique<gpu::Device>(dev_options));
+    devices.push_back(owned_devices.back().get());
+    for (uint32_t rep = 0; rep < kReplicaRf; ++rep) {
+      auto built = GtsIndex::Build(env.data.Slice(ids), env.metric.get(),
+                                   devices.back(), options);
+      if (!built.ok()) {
+        std::printf("faults phase: shard %u replica %u build failed: %s\n",
+                    s, rep, built.status().ToString().c_str());
+        return;
+      }
+      owned.push_back(std::move(built).value());
+      layout[s].push_back(owned.back().get());
+    }
+  }
+
+  const float radius = bench::RadiusForStep(env, kDefaultRadiusStep);
+  const Dataset queries = SampleQueries(env.data, 64, 5);
+  const std::string config =
+      "shards=" + std::to_string(kReplicaShards) + ",rf=" +
+      std::to_string(kReplicaRf) + ",b=" + std::to_string(kShardBatchBudget) +
+      ",threads=" + std::to_string(kShardThreads);
+
+  std::printf("%s replica failover (fault injection): %u range reads via "
+              "SubmitBatch, %u shards x %u replicas sharing per-shard "
+              "devices, budget %u, %u shared threads, fault seed 0x%llx\n",
+              env.spec->name, kReplicaReads, kReplicaShards, kReplicaRf,
+              kShardBatchBudget, kShardThreads,
+              static_cast<unsigned long long>(kReplicaBenchSeed));
+  std::printf("  %8s %14s %12s %12s %10s %8s %9s\n", "mode", "mrq q/min",
+              "p50 ms", "p95 ms", "failovers", "retries", "unhealthy");
+
+  struct Mode {
+    const char* name;
+    double flush_p;
+  };
+  ReplicaModeResult healthy, dead;
+  for (const Mode mode : {Mode{"healthy", 0.0}, Mode{"flaky", 0.30},
+                          Mode{"dead", 1.0}}) {
+    const ReplicaModeResult run =
+        RunReplicaMode(layout, devices, queries, radius, mode.flush_p);
+
+    bench::BenchResult res;
+    res.name = bench::SeriesName("gts-serve-replica", "mrq",
+                                 config + ",mode=" + mode.name);
+    res.dataset = env.spec->name;
+    res.samples = run.completed;
+    res.p50_latency_ms = run.p50_ms;
+    res.p95_latency_ms = run.p95_ms;
+    res.throughput_per_min = run.qpm_model;
+    bench::GlobalReporter().AddResult(res);
+
+    std::printf("  %8s %14s %12.4f %12.4f %10llu %8llu %9llu   "
+                "(%llu of %u completed, %llu probes, %llu recoveries, "
+                "%llu degraded)\n",
+                mode.name, bench::FormatThroughput(run.qpm_model).c_str(),
+                run.p50_ms, run.p95_ms,
+                static_cast<unsigned long long>(run.stats.failovers),
+                static_cast<unsigned long long>(run.stats.read_retries),
+                static_cast<unsigned long long>(
+                    run.stats.unhealthy_transitions),
+                static_cast<unsigned long long>(run.completed), kReplicaReads,
+                static_cast<unsigned long long>(run.stats.health_probes),
+                static_cast<unsigned long long>(run.stats.replica_recoveries),
+                static_cast<unsigned long long>(run.stats.degraded_reads));
+    if (std::strcmp(mode.name, "healthy") == 0) healthy = run;
+    if (std::strcmp(mode.name, "dead") == 0) dead = run;
+  }
+  fault::Registry::Instance().ResetForTest(0);
+
+  const double ratio = healthy.qpm_model > 0.0
+                           ? dead.qpm_model / healthy.qpm_model
+                           : 0.0;
+  std::printf("  dead/healthy modeled throughput: %.3fx (CI hard gate "
+              ">= 0.5x; every read must still complete)\n\n",
+              ratio);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -965,17 +1199,21 @@ int main(int argc, char** argv) {
   bool router = false;
   bool sharded = false;
   bool mvcc = false;
+  bool faults = false;
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--streaming") == 0 ||
         std::strcmp(argv[i], "--router") == 0 ||
         std::strcmp(argv[i], "--sharded") == 0 ||
-        std::strcmp(argv[i], "--mvcc") == 0) {
+        std::strcmp(argv[i], "--mvcc") == 0 ||
+        std::strcmp(argv[i], "--faults") == 0) {
       if (std::strcmp(argv[i], "--streaming") == 0) {
         streaming = true;
       } else if (std::strcmp(argv[i], "--router") == 0) {
         router = true;
       } else if (std::strcmp(argv[i], "--sharded") == 0) {
         sharded = true;
+      } else if (std::strcmp(argv[i], "--faults") == 0) {
+        faults = true;
       } else {
         mvcc = true;
       }
@@ -1070,6 +1308,9 @@ int main(int argc, char** argv) {
     }
     if (mvcc && id == DatasetId::kTLoc) {
       RunMvccPhase(env, index.get());
+    }
+    if (faults && id == DatasetId::kTLoc) {
+      RunReplicaFaultsPhase(env);
     }
   }
   bench::PrintRule('=');

@@ -1,0 +1,177 @@
+#include "common/fault.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+
+namespace gts::fault {
+
+namespace {
+
+/// FNV-1a over the site name — the same stable hash the sharded frontend
+/// routes with, so site streams are identical across platforms.
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Splits `spec` ("a=b,c=d") on commas; empty pieces are skipped.
+std::vector<std::string> SplitComma(const std::string& spec) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    const size_t end = spec.find(',', begin);
+    const size_t stop = end == std::string::npos ? spec.size() : end;
+    if (stop > begin) out.push_back(spec.substr(begin, stop - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Registry::Registry()
+    : seed_(static_cast<uint64_t>(
+          GetEnvInt64("GTS_FAULT_SEED", 0x6774735f6661756cll))) {
+  // GTS_FAULTS arms sites at startup: `site=probability[@key]`, comma
+  // separated. Malformed entries are ignored (env plumbing must never
+  // turn a typo into an abort inside a serving process).
+  const std::string faults = GetEnvString("GTS_FAULTS", "");
+  for (const std::string& entry : SplitComma(faults)) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    FaultSpec spec;
+    const std::string value = entry.substr(eq + 1);
+    const size_t at = value.find('@');
+    char* end = nullptr;
+    spec.probability = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;
+    if (at != std::string::npos) {
+      const std::string key = value.substr(at + 1);
+      char* key_end = nullptr;
+      const uint64_t parsed = std::strtoull(key.c_str(), &key_end, 10);
+      if (key_end == key.c_str()) continue;
+      spec.has_match_key = true;
+      spec.match_key = parsed;
+    }
+    Arm(entry.substr(0, eq), spec);
+  }
+}
+
+Registry::Site Registry::MakeSite(const std::string& site,
+                                  const FaultSpec& spec) const {
+  // Per-site stream: the k-th evaluation of a site fires identically for
+  // a fixed registry seed no matter what other sites are armed or how
+  // threads interleave — sites never share a generator.
+  return Site{spec, Rng(seed_ ^ HashSite(site)), 0, SiteCounters{}};
+}
+
+void Registry::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.insert_or_assign(site, MakeSite(site, spec));
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Registry::TryGet(const std::string& site, FaultSpec* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  *out = it->second.spec;
+  return true;
+}
+
+SiteCounters Registry::Counters(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? SiteCounters{} : it->second.counters;
+}
+
+uint64_t Registry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+void Registry::ResetForTest(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.fetch_sub(sites_.size(), std::memory_order_relaxed);
+  sites_.clear();
+  seed_ = seed;
+}
+
+bool Registry::Evaluate(const char* site, uint64_t key, uint64_t* delay_out) {
+  // THE fast path: a registry with nothing armed costs one relaxed load —
+  // no lock, no RNG, no counter. This is what makes threading injection
+  // sites through serving hot paths free in ordinary runs.
+  if (armed_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  if (s.spec.has_match_key && key != s.spec.match_key) return false;
+  const uint64_t idx = s.trips++;
+  ++s.counters.evaluations;
+  const bool in_window =
+      idx >= s.spec.fail_after &&
+      idx - s.spec.fail_after < s.spec.fail_count;
+  bool fire = false;
+  if (in_window) {
+    fire = s.spec.probability >= 1.0 ||
+           (s.spec.probability > 0.0 &&
+            s.rng.UniformDouble() < s.spec.probability);
+  }
+  if (fire) {
+    ++s.counters.fires;
+    if (delay_out != nullptr) *delay_out = s.spec.delay_micros;
+  }
+  return fire;
+}
+
+bool Registry::Trip(const char* site, uint64_t key) {
+  return Evaluate(site, key, nullptr);
+}
+
+uint64_t Registry::TripDelayMicros(const char* site, uint64_t key) {
+  uint64_t delay = 0;
+  Evaluate(site, key, &delay);
+  return delay;
+}
+
+ScopedFaultForTest::ScopedFaultForTest(std::string site,
+                                       const FaultSpec& spec)
+    : site_(std::move(site)) {
+  Registry& registry = Registry::Instance();
+  had_previous_ = registry.TryGet(site_, &previous_);
+  registry.Arm(site_, spec);
+}
+
+ScopedFaultForTest::~ScopedFaultForTest() {
+  Registry& registry = Registry::Instance();
+  if (had_previous_) {
+    registry.Arm(site_, previous_);
+  } else {
+    registry.Disarm(site_);
+  }
+}
+
+}  // namespace gts::fault

@@ -1,0 +1,156 @@
+// Process-wide deterministic fault injection. Serving-layer code threads
+// named injection sites through its failure-handling paths (e.g.
+// `session.flush` in QuerySession::RunFlush, `shard.read` /
+// `shard.write-ack` in ShardedFrontend's gathers, `executor.task-delay`
+// in QueryExecutor::WorkerLoop) and asks the registry at each site
+// whether to simulate a failure. Sites are DISARMED by default and the
+// disarmed fast path is one relaxed atomic load — zero armed faults adds
+// no observable behavior change (no RNG draw, no lock, no counter), a
+// contract tests/fault_injection_test.cc and the CI kernel-dispatch
+// fingerprint diff enforce.
+//
+// Determinism: every site draws from its own xoshiro256** stream seeded
+// from the registry seed XOR a stable hash of the site name, and fire
+// decisions are indexed by the site's evaluation count — so for a fixed
+// seed the k-th evaluation of a site fires identically across runs and
+// platforms, regardless of which thread performs it. Arming a site
+// (re)starts its schedule from evaluation 0. The chaos soak logs the
+// seed on failure and replays it via GTS_FAULT_SEED.
+//
+// Control surface:
+//  - Programmatic: Registry::Instance().Arm/Disarm, or the RAII
+//    ScopedFaultForTest which restores the prior spec (schedule
+//    restarted) on scope exit.
+//  - Environment, read once at first use: GTS_FAULT_SEED (integer seed,
+//    the chaos soak's replay knob) and GTS_FAULTS, a comma-separated
+//    list of `site=probability[@key]` entries armed at startup (e.g.
+//    GTS_FAULTS='shard.read=0.3@1' makes every `shard.read` evaluation
+//    carrying key 1 fail with probability 0.3).
+//
+// Thread-safety: all members are safe to call concurrently; armed-site
+// evaluation serializes on one registry mutex (fault runs are diagnostic
+// harness runs, not production hot paths).
+#ifndef GTS_COMMON_FAULT_H_
+#define GTS_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace gts::fault {
+
+/// One site's armed schedule. The k-th evaluation of the site (0-based,
+/// counting only evaluations whose key matches) fires iff
+///   k >= fail_after  AND  k < fail_after + fail_count  AND
+///   (probability >= 1.0 OR the site's next uniform draw < probability).
+struct FaultSpec {
+  /// Per-evaluation fire probability; >= 1.0 fires every evaluation in
+  /// the window (and consumes no RNG draw), <= 0.0 never fires.
+  double probability = 1.0;
+  /// Evaluations to let through unharmed before the window opens.
+  uint64_t fail_after = 0;
+  /// Evaluations the window spans once open (default: forever).
+  uint64_t fail_count = std::numeric_limits<uint64_t>::max();
+  /// Modeled extra latency TripDelayMicros reports on a firing
+  /// evaluation (Trip ignores it; delay sites are separate site names).
+  uint64_t delay_micros = 0;
+  /// When set, only evaluations carrying `match_key` participate in the
+  /// schedule; other keys pass untouched and do not advance it. The
+  /// serving layer keys read/write sites by REPLICA index, so one spec
+  /// with match_key=1 fails replica 1 of every shard.
+  bool has_match_key = false;
+  uint64_t match_key = 0;
+};
+
+/// Per-site trip accounting (armed sites only; a disarmed site counts
+/// nothing — that is the no-behavior-change fast path).
+struct SiteCounters {
+  uint64_t evaluations = 0;  ///< schedule evaluations (matching key)
+  uint64_t fires = 0;        ///< evaluations that injected a failure
+};
+
+/// The process-wide registry. See the file comment.
+class Registry {
+ public:
+  /// The singleton; first call reads GTS_FAULT_SEED / GTS_FAULTS.
+  static Registry& Instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Evaluates `site` once: true = the caller must simulate a failure
+  /// here. `key` identifies the sub-target (replica index, worker
+  /// index); see FaultSpec::match_key.
+  bool Trip(const char* site, uint64_t key = 0);
+
+  /// Delay-flavored evaluation: the spec's delay_micros on a firing
+  /// evaluation, 0 otherwise.
+  uint64_t TripDelayMicros(const char* site, uint64_t key = 0);
+
+  /// Arms (or re-arms, restarting the schedule and counters of) `site`.
+  void Arm(const std::string& site, const FaultSpec& spec);
+  /// Disarms `site`; a no-op when not armed.
+  void Disarm(const std::string& site);
+  /// Copies the armed spec of `site` into `*out`; false when disarmed.
+  bool TryGet(const std::string& site, FaultSpec* out) const;
+  /// The site's accounting since it was (last) armed; zeros if disarmed.
+  SiteCounters Counters(const std::string& site) const;
+  /// Currently armed sites.
+  uint64_t armed_sites() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  /// The seed site schedules derive from.
+  uint64_t seed() const;
+
+  /// Test hook: disarms every site and replaces the seed, so a test (or
+  /// a chaos replay) starts from a clean, reproducible registry state.
+  void ResetForTest(uint64_t seed);
+
+ private:
+  Registry();
+
+  struct Site {
+    FaultSpec spec;
+    Rng rng;
+    uint64_t trips = 0;  ///< schedule index of the next evaluation
+    SiteCounters counters;
+  };
+
+  /// Shared body of Trip / TripDelayMicros: evaluates the site's
+  /// schedule once and reports whether it fired.
+  bool Evaluate(const char* site, uint64_t key, uint64_t* delay_out);
+  /// Builds a freshly-seeded schedule state for `site` under `spec`.
+  Site MakeSite(const std::string& site, const FaultSpec& spec) const;
+
+  /// Armed-site count, mirrored outside the mutex: the disarmed-registry
+  /// fast path in Trip is one relaxed load of this.
+  std::atomic<uint64_t> armed_{0};
+  mutable std::mutex mu_;
+  uint64_t seed_;  // guarded by mu_
+  std::map<std::string, Site> sites_;  // guarded by mu_
+};
+
+/// RAII arming for tests: arms `site` with `spec` on construction and on
+/// destruction restores what was armed before (schedule restarted) — or
+/// disarms, when nothing was.
+class ScopedFaultForTest {
+ public:
+  ScopedFaultForTest(std::string site, const FaultSpec& spec);
+  ~ScopedFaultForTest();
+  ScopedFaultForTest(const ScopedFaultForTest&) = delete;
+  ScopedFaultForTest& operator=(const ScopedFaultForTest&) = delete;
+
+ private:
+  std::string site_;
+  bool had_previous_ = false;
+  FaultSpec previous_;
+};
+
+}  // namespace gts::fault
+
+#endif  // GTS_COMMON_FAULT_H_

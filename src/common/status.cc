@@ -11,6 +11,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kNotFound: return "NotFound";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -18,6 +18,8 @@ enum class StatusCode {
   kUnsupported,   ///< method does not support this metric / data kind
   kNotFound,
   kResourceExhausted,  ///< admission control refused the work (queue full)
+  kUnavailable,  ///< a replica/backend failed to serve; retrying elsewhere
+                 ///< may succeed (the sharded frontend's failover signal)
   kInternal,
 };
 
@@ -50,6 +52,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

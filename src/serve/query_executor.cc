@@ -1,8 +1,10 @@
 #include "serve/query_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
+#include "common/fault.h"
 #include "serve/latch.h"
 
 namespace gts::serve {
@@ -13,7 +15,7 @@ QueryExecutor::QueryExecutor(const GtsIndex* index, ExecutorOptions options)
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -26,7 +28,7 @@ QueryExecutor::~QueryExecutor() {
   for (std::thread& t : workers_) t.join();
 }
 
-void QueryExecutor::WorkerLoop() {
+void QueryExecutor::WorkerLoop(uint32_t worker) {
   while (true) {
     std::function<void()> task;
     {
@@ -35,6 +37,14 @@ void QueryExecutor::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+    // Injection site: a straggling worker. Disarmed (the default) this is
+    // one relaxed load; armed, the delay lands BEFORE the task so the
+    // task's own timing (latch countdowns, promise resolution) is intact.
+    const uint64_t delay = fault::Registry::Instance().TripDelayMicros(
+        "executor.task-delay", worker);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
     }
     task();
   }

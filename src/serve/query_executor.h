@@ -103,7 +103,10 @@ class QueryExecutor {
  private:
   /// Runs all tasks on the pool and blocks until every one completed.
   void RunAll(std::vector<std::function<void()>>* tasks);
-  void WorkerLoop();
+  /// `worker` is the thread's pool index — the fault-injection key of the
+  /// `executor.task-delay` site (common/fault.h), so a test can slow one
+  /// specific worker deterministically.
+  void WorkerLoop(uint32_t worker);
 
   /// Fans the precomputed shard `bounds` out on the pool, calling
   /// `run_shard(shard_index, begin, end)` for each, and returns the first

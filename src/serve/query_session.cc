@@ -6,8 +6,10 @@
 #include <limits>
 #include <map>
 #include <span>
+#include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "serve/latch.h"
 
 namespace gts::serve {
@@ -417,6 +419,33 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
     seqs.reserve(batch->size());
     for (const PendingRead& item : *batch) seqs.push_back(item.seq);
     options_.on_flush(seqs);
+  }
+
+  // Injection sites (common/fault.h; disarmed = one relaxed load each).
+  // A `session.flush-delay` fire stalls this whole flush cycle — the
+  // slow-replica case the frontend's per-attempt deadline failover
+  // exists for. A `session.flush` fire fails the cycle: every promise
+  // resolves kUnavailable, the retryable signal the sharded frontend
+  // fails over on. The failure happens BEFORE any query executes, so an
+  // injected "dead replica" does no work and diverges no state.
+  fault::Registry& faults = fault::Registry::Instance();
+  const uint64_t stall =
+      faults.TripDelayMicros("session.flush-delay", options_.fault_key);
+  if (stall > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall));
+  }
+  if (faults.Trip("session.flush", options_.fault_key)) {
+    const Status down =
+        Status::Unavailable("injected fault: session.flush");
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (PendingRead& item : *batch) {
+      item.promise.set_value(ReadError(item, down));
+      if (item.has_deadline && now > item.deadline) {
+        ++stats_.deadline_missed;
+      }
+    }
+    return;
   }
 
   // Coalesce into homogeneous groups: all range queries form one batched

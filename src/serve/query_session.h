@@ -104,6 +104,12 @@ struct SessionOptions {
   /// the longest a deadline-free read can be out-ranked by urgent traffic.
   /// Missing the implicit deadline is not counted in deadline_missed.
   uint64_t no_deadline_slack_micros = 100'000;
+  /// Fault-injection key of this session's `session.flush` /
+  /// `session.flush-delay` sites (common/fault.h). The sharded frontend
+  /// sets it to the session's REPLICA index, so one armed spec with a
+  /// match key fails the same replica of every shard; standalone
+  /// sessions keep the default 0.
+  uint64_t fault_key = 0;
   /// Optional flush observer, invoked on the dispatcher thread as each
   /// read flush batch is composed (before it executes) with the batch's
   /// submission sequence numbers in flush order. A read's sequence number

@@ -1,13 +1,17 @@
 #include "serve/sharded_frontend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
+
+#include "common/fault.h"
 
 namespace gts::serve {
 
@@ -27,6 +31,10 @@ uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
+/// Floor for a failover attempt's deadline slice: below this the retry
+/// budget math would spin through replicas faster than a flush can serve.
+constexpr int64_t kMinAttemptSliceMicros = 50;
+
 /// The canonical kNN result order (the one GtsIndex::KnnQueryBatch
 /// maintains internally): ascending (dist, id).
 void SortNeighbors(std::vector<Neighbor>* v) {
@@ -36,28 +44,93 @@ void SortNeighbors(std::vector<Neighbor>* v) {
   });
 }
 
+/// The legacy unreplicated layout as a one-replica-per-shard layout.
+std::vector<std::vector<GtsIndex*>> WrapReplicas(
+    std::vector<GtsIndex*> shards) {
+  std::vector<std::vector<GtsIndex*>> wrapped;
+  wrapped.reserve(shards.size());
+  for (GtsIndex* index : shards) {
+    wrapped.push_back(std::vector<GtsIndex*>{index});
+  }
+  return wrapped;
+}
+
+/// Total read attempts per sub-query (the first included): the option, or
+/// one attempt per replica when it is left 0.
+uint32_t AttemptBudget(const FrontendOptions& options, size_t rf) {
+  const uint32_t budget = options.max_read_attempts == 0
+                              ? static_cast<uint32_t>(rf)
+                              : options.max_read_attempts;
+  return budget == 0 ? 1 : budget;
+}
+
+/// An error response in the SAME alternative `like` holds — the
+/// last-attempt injected-drop path has a successful response in hand but
+/// must report the read lost, and the alternative has to keep matching
+/// the request's payload family (request.h's ErrorResponse contract).
+Response SameAlternativeError(const Response& like, Status status) {
+  return std::visit(
+      [&](const auto& r) -> Response {
+        using T = std::decay_t<decltype(r)>;
+        return Response{T(std::move(status))};
+      },
+      like.result);
+}
+
+/// The verdict over one shard's per-replica write-ack statuses. Partial
+/// acks and unavailable replicas surface as kUnavailable NAMING the
+/// failed replica set (never a silent success); a unanimous identical
+/// rejection (every replica refused with the same non-unavailable code,
+/// e.g. an invalid payload) passes through unchanged — the rejection IS
+/// the answer, and at one replica this reduces to the legacy
+/// pass-through. `*partial` reports the some-but-not-all case for the
+/// partial_write_acks counter.
+Status AckVerdict(uint32_t shard, uint32_t rf,
+                  const std::vector<Status>& statuses,
+                  const std::vector<uint32_t>& failed, bool* partial) {
+  *partial = false;
+  if (failed.empty()) return Status::Ok();
+  if (failed.size() == rf) {
+    const StatusCode code = statuses[failed[0]].code();
+    bool uniform = code != StatusCode::kUnavailable;
+    for (const uint32_t r : failed) {
+      uniform &= statuses[r].code() == code;
+    }
+    if (uniform) return statuses[failed[0]];
+  } else {
+    *partial = true;
+  }
+  std::string msg = "shard " + std::to_string(shard) +
+                    " write ack failed on replica set {";
+  for (size_t i = 0; i < failed.size(); ++i) {
+    if (i > 0) msg += ",";
+    msg += std::to_string(failed[i]);
+  }
+  msg += "}: " + statuses[failed[0]].message();
+  return Status::Unavailable(std::move(msg));
+}
+
 }  // namespace
 
 // Shared gather state of one SubmitBatch call's exact-kNN reads. Phase 1
 // (the seed sub-queries) is submitted by SubmitBatch; phase 2 is driven
 // by the FIRST gather that runs — under the mutex it collects every
-// item's seed result, derives the per-item bound, prunes the deferred
-// shards the bound disqualifies, and fans the survivors out as ONE
-// batched submission per shard for the whole group. Later gathers (and
-// the rest of the first one) only touch their own item.
+// item's seed result (with failover), derives the per-item bound, prunes
+// the deferred shards the bound disqualifies, and fans the survivors out
+// as ONE batched submission per shard for the whole group. Later gathers
+// (and the rest of the first one) only touch their own item.
 struct ShardedFrontend::KnnScatter {
   struct Item {
     Dataset query = Dataset::Strings();  ///< one-object copy for phase 2
     uint32_t k = 0;
     float client_cap = kInf;  ///< the request's own bound_cap
     uint64_t deadline_micros = 0;
-    uint32_t seed_shard = 0;
-    std::future<Response> seed_future;
+    SubRead seed;  ///< phase-1 sub-query on the seed shard
     /// Non-seed candidate shards and their lower bounds d(q, pivot) - r.
     std::vector<std::pair<uint32_t, float>> deferred;
     // Filled by RunPhase2:
     KnnResult seed_result{Status::Ok()};
-    std::vector<std::pair<uint32_t, std::future<Response>>> phase2;
+    std::vector<SubRead> phase2;
   };
 
   ShardedFrontend* frontend = nullptr;
@@ -73,8 +146,9 @@ struct ShardedFrontend::KnnScatter {
     // Collect every seed first: the whole group's phase-2 submissions
     // coalesce below, so no item's phase 2 can start before the slowest
     // seed anyway — and the seeds all ride one session flush cycle.
+    // AwaitRead fails a dead seed replica over before the seed resolves.
     for (Item& item : items) {
-      item.seed_result = std::move(item.seed_future.get().knn());
+      item.seed_result = std::move(frontend->AwaitRead(&item.seed).knn());
     }
     std::vector<std::vector<Request>> shard_reqs(n);
     std::vector<std::vector<std::pair<size_t, size_t>>> placements(n);
@@ -105,18 +179,17 @@ struct ShardedFrontend::KnnScatter {
         sub.deadline_micros = item.deadline_micros;
         sub.payload = KnnPayload{item.query, item.k, cap};
         placements[shard].emplace_back(i, item.phase2.size());
-        item.phase2.emplace_back(shard, std::future<Response>{});
+        item.phase2.emplace_back();
         shard_reqs[shard].push_back(std::move(sub));
       }
     }
     frontend->pruned_.fetch_add(pruned, std::memory_order_relaxed);
     for (uint32_t s = 0; s < n; ++s) {
       if (shard_reqs[s].empty()) continue;
-      auto futures =
-          frontend->sessions_[s]->SubmitBatch(std::move(shard_reqs[s]));
-      for (size_t j = 0; j < futures.size(); ++j) {
+      auto subs = frontend->SubmitShardWave(s, std::move(shard_reqs[s]));
+      for (size_t j = 0; j < subs.size(); ++j) {
         const auto [item, slot] = placements[s][j];
-        items[item].phase2[slot].second = std::move(futures[j]);
+        items[item].phase2[slot] = std::move(subs[j]);
       }
     }
   }
@@ -128,9 +201,9 @@ struct ShardedFrontend::KnnScatter {
     }
     // After RunPhase2, each gather touches only its own item.
     Item& item = items[idx];
-    const uint32_t n = frontend->num_shards();
     std::vector<Neighbor> merged;
     Status first_bad = Status::Ok();
+    const uint32_t n = frontend->num_shards();
     const auto absorb = [&](uint32_t shard, KnnResult res) {
       if (!res.ok()) {
         if (first_bad.ok()) first_bad = res.status();
@@ -145,9 +218,9 @@ struct ShardedFrontend::KnnScatter {
         merged.push_back(Neighbor{gid.value(), nb.dist});
       }
     };
-    absorb(item.seed_shard, std::move(item.seed_result));
-    for (auto& [shard, future] : item.phase2) {
-      absorb(shard, std::move(future.get().knn()));
+    absorb(item.seed.shard, std::move(item.seed_result));
+    for (SubRead& sub : item.phase2) {
+      absorb(sub.shard, std::move(frontend->AwaitRead(&sub).knn()));
     }
     if (!first_bad.ok()) return Response{KnnResult(first_bad)};
     // Selection by a total order commutes with partitioning: re-sorting
@@ -163,15 +236,43 @@ struct ShardedFrontend::KnnScatter {
 
 ShardedFrontend::ShardedFrontend(std::vector<GtsIndex*> shards,
                                  FrontendOptions options)
+    : ShardedFrontend(WrapReplicas(std::move(shards)), std::move(options)) {}
+
+ShardedFrontend::ShardedFrontend(std::vector<std::vector<GtsIndex*>> shards,
+                                 FrontendOptions options)
     : options_(options) {
-  // One pool-only executor shared by every shard session, exactly like
-  // SessionRouter: the worker budget is fixed no matter the shard count.
+  // One pool-only executor shared by every replica session, exactly like
+  // SessionRouter: the worker budget is fixed no matter the shard or
+  // replica count (replication adds availability, not compute).
   executor_ = std::make_unique<QueryExecutor>(
       nullptr, ExecutorOptions{options_.executor_threads, 0});
-  sessions_.reserve(shards.size());
-  for (GtsIndex* index : shards) {
-    sessions_.push_back(std::make_unique<QuerySession>(index, executor_.get(),
-                                                       options_.session));
+  // A malformed layout (no shards, a shard with no replicas, ragged
+  // replica counts, a null index) yields a frontend with no shards —
+  // every submission then errors, the same way the empty legacy layout
+  // always has.
+  bool valid = !shards.empty();
+  const size_t rf = valid ? shards[0].size() : 0;
+  valid &= rf > 0;
+  for (const auto& replicas : shards) {
+    valid &= replicas.size() == rf;
+    for (const GtsIndex* index : replicas) valid &= index != nullptr;
+  }
+  if (valid) {
+    groups_.reserve(shards.size());
+    for (auto& replicas : shards) {
+      auto group = std::make_unique<ReplicaGroup>(rf);
+      group->replicas.reserve(rf);
+      for (size_t r = 0; r < rf; ++r) {
+        // The replica index is the session's fault key, so a test can
+        // address "replica 1 of every shard" through one fault site.
+        SessionOptions session = options_.session;
+        session.fault_key = r;
+        group->replicas.push_back(std::make_unique<QuerySession>(
+            replicas[r], executor_.get(), session));
+        group->healthy[r].store(true, std::memory_order_relaxed);
+      }
+      groups_.push_back(std::move(group));
+    }
   }
   driver_ = std::thread([this] { DriverLoop(); });
 }
@@ -184,7 +285,7 @@ ShardedFrontend::~ShardedFrontend() {
   driver_cv_.notify_all();
   driver_.join();
   // Session destructors drain; explicit reset before the executor dies.
-  sessions_.clear();
+  groups_.clear();
 }
 
 void ShardedFrontend::DriverLoop() {
@@ -205,6 +306,18 @@ void ShardedFrontend::DriverLoop() {
     std::lock_guard<std::mutex> lock(state->mu);
     state->RunPhase2();
   }
+}
+
+uint32_t ShardedFrontend::replication_factor() const {
+  return groups_.empty()
+             ? 0
+             : static_cast<uint32_t>(groups_[0]->replicas.size());
+}
+
+QuerySession* ShardedFrontend::session(uint32_t shard, uint32_t replica) {
+  if (shard >= groups_.size()) return nullptr;
+  if (replica >= groups_[shard]->replicas.size()) return nullptr;
+  return groups_[shard]->replicas[replica].get();
 }
 
 uint32_t ShardedFrontend::ShardForObject(const Dataset& src,
@@ -231,35 +344,214 @@ Result<uint32_t> ShardedFrontend::ComposeGlobalId(uint64_t local,
   return static_cast<uint32_t>(global);
 }
 
-template <typename Payload>
-std::vector<std::future<Response>> ShardedFrontend::Scatter(
-    const Payload& payload, uint64_t deadline_micros) {
-  std::vector<std::future<Response>> futures;
-  futures.reserve(sessions_.size());
-  for (auto& session : sessions_) {
-    Request sub;
-    sub.deadline_micros = deadline_micros;
-    sub.payload = payload;  // per-shard copy of the one-object query
-    futures.push_back(session->Submit(std::move(sub)));
+// --- Replica picking and failover ------------------------------------------
+
+uint32_t ShardedFrontend::PickReplica(uint32_t shard) {
+  ReplicaGroup& group = *groups_[shard];
+  const uint32_t rf = static_cast<uint32_t>(group.replicas.size());
+  if (rf == 1) return 0;  // nothing to pick (and no counters to move)
+  // Probe cadence first: every probe_period-th pick of this shard is
+  // offered to an unhealthy replica (if any), so a recovered replica is
+  // rediscovered without a caller ever opting in.
+  const uint32_t pick = group.picks.fetch_add(1, std::memory_order_relaxed);
+  if (options_.probe_period > 0 && (pick + 1) % options_.probe_period == 0) {
+    for (uint32_t r = 0; r < rf; ++r) {
+      if (!group.healthy[r].load(std::memory_order_relaxed)) {
+        health_probes_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
+    }
   }
-  return futures;
+  const uint32_t start = group.rr.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < rf; ++i) {
+    const uint32_t r = (start + i) % rf;
+    if (group.healthy[r].load(std::memory_order_relaxed)) return r;
+  }
+  // Nothing is healthy: serve anyway (degraded) — a marked-unhealthy
+  // replica may well answer, and failing fast here would turn a health
+  // blip into an outage.
+  degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  return start % rf;
+}
+
+uint32_t ShardedFrontend::NextReplica(uint32_t shard, uint32_t after) {
+  ReplicaGroup& group = *groups_[shard];
+  const uint32_t rf = static_cast<uint32_t>(group.replicas.size());
+  for (uint32_t i = 1; i < rf; ++i) {
+    const uint32_t r = (after + i) % rf;
+    if (group.healthy[r].load(std::memory_order_relaxed)) return r;
+  }
+  degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  return (after + 1) % rf;
+}
+
+void ShardedFrontend::MarkReplicaResult(uint32_t shard, uint32_t replica,
+                                        bool served) {
+  ReplicaGroup& group = *groups_[shard];
+  // CAS so only the attempt that actually flips the flag counts the
+  // transition (concurrent gathers may mark the same replica at once).
+  bool expected = !served;
+  if (group.healthy[replica].compare_exchange_strong(
+          expected, served, std::memory_order_relaxed)) {
+    if (served) {
+      replica_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      unhealthy_transitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<ShardedFrontend::SubRead> ShardedFrontend::SubmitShardWave(
+    uint32_t shard, std::vector<Request> requests) {
+  ReplicaGroup& group = *groups_[shard];
+  const uint32_t replica = PickReplica(shard);
+  // Failover needs the requests back verbatim; with an attempt budget of
+  // 1 (notably the whole unreplicated configuration) nothing can ever be
+  // resubmitted, so the copies are skipped.
+  const bool keep = AttemptBudget(options_, group.replicas.size()) > 1;
+  std::vector<Request> copies;
+  if (keep) copies = requests;
+  auto futures = group.replicas[replica]->SubmitBatch(std::move(requests));
+  std::vector<SubRead> subs(futures.size());
+  for (size_t j = 0; j < futures.size(); ++j) {
+    subs[j].shard = shard;
+    subs[j].replica = replica;
+    if (keep) subs[j].request = std::move(copies[j]);
+    subs[j].future = std::move(futures[j]);
+  }
+  return subs;
+}
+
+Response ShardedFrontend::AwaitRead(SubRead* sub) {
+  ReplicaGroup& group = *groups_[sub->shard];
+  const uint32_t budget = AttemptBudget(options_, group.replicas.size());
+  const auto start = std::chrono::steady_clock::now();
+  bool first_retry = true;
+  for (uint32_t attempt = 1;; ++attempt) {
+    const bool last = attempt >= budget;
+    // A deadline-enveloped read splits its REMAINING budget evenly over
+    // the attempts still possible; an attempt that exceeds its slice is
+    // abandoned (the replica may still resolve the promise later — the
+    // shared state outlives the failover) and the read moves on. Reads
+    // with no deadline wait indefinitely: only an unavailable answer
+    // fails over. The last attempt always blocks to a result, so a read
+    // never comes back empty-handed merely because the budget ran out.
+    bool timed_out = false;
+    if (!last && sub->request.deadline_micros > 0) {
+      const int64_t elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const int64_t remaining =
+          static_cast<int64_t>(sub->request.deadline_micros) - elapsed;
+      int64_t slice = remaining / static_cast<int64_t>(budget - attempt + 1);
+      if (slice < kMinAttemptSliceMicros) slice = kMinAttemptSliceMicros;
+      timed_out = sub->future.wait_for(std::chrono::microseconds(slice)) !=
+                  std::future_status::ready;
+    }
+    if (!timed_out) {
+      Response response = sub->future.get();
+      // Injection site: the gather loses this replica's answer in
+      // flight. Keyed by replica, so "kill replica 1 of every shard" is
+      // one armed site.
+      const bool dropped =
+          fault::Registry::Instance().Trip("shard.read", sub->replica);
+      const bool unavailable =
+          dropped || (!response.ok() &&
+                      response.status().code() == StatusCode::kUnavailable);
+      if (!unavailable) {
+        // Non-unavailable errors (invalid argument, quota) pass through:
+        // every replica holds identical content and would answer them
+        // identically — retrying elsewhere cannot help.
+        MarkReplicaResult(sub->shard, sub->replica, /*served=*/true);
+        return response;
+      }
+      MarkReplicaResult(sub->shard, sub->replica, /*served=*/false);
+      if (last) {
+        if (dropped && response.ok()) {
+          return SameAlternativeError(
+              response, Status::Unavailable("injected fault: shard.read"));
+        }
+        return response;
+      }
+    } else {
+      MarkReplicaResult(sub->shard, sub->replica, /*served=*/false);
+    }
+    if (first_retry) {
+      first_retry = false;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    sub->replica = NextReplica(sub->shard, sub->replica);
+    Request retry = sub->request;  // resubmitted verbatim
+    sub->future = group.replicas[sub->replica]->Submit(std::move(retry));
+  }
+}
+
+// --- Write fan-out ----------------------------------------------------------
+
+std::vector<std::future<Response>> ShardedFrontend::FanWrite(
+    uint32_t shard, const Request& request) {
+  ReplicaGroup& group = *groups_[shard];
+  std::vector<std::future<Response>> acks;
+  acks.reserve(group.replicas.size());
+  // The write mutex pins one cross-replica apply order per shard: every
+  // replica's writer sees this shard's updates in the SAME sequence, so
+  // local ids never diverge and replica content stays byte-identical.
+  // Health is deliberately ignored — skipping an unhealthy replica would
+  // silently fork its content, which is strictly worse than a failed ack.
+  std::lock_guard<std::mutex> lock(group.write_mu);
+  for (auto& replica : group.replicas) {
+    Request copy = request;
+    acks.push_back(replica->Submit(std::move(copy)));
+  }
+  return acks;
+}
+
+Status ShardedFrontend::GatherAcks(uint32_t shard,
+                                   std::vector<std::future<Response>>* acks) {
+  fault::Registry& faults = fault::Registry::Instance();
+  const uint32_t rf = static_cast<uint32_t>(acks->size());
+  std::vector<Status> statuses;
+  statuses.reserve(rf);
+  std::vector<uint32_t> failed;
+  for (uint32_t r = 0; r < rf; ++r) {
+    Status status = (*acks)[r].get().update();
+    // Injection site: the replica APPLIED the write, its ack was lost —
+    // replica content stays identical, only the acknowledgement degrades.
+    // (This is why the site lives at the gather, after the apply.)
+    if (status.ok() && faults.Trip("shard.write-ack", r)) {
+      status = Status::Unavailable("injected fault: shard.write-ack");
+    }
+    if (!status.ok()) failed.push_back(r);
+    statuses.push_back(std::move(status));
+  }
+  bool partial = false;
+  Status verdict = AckVerdict(shard, rf, statuses, failed, &partial);
+  if (partial) partial_write_acks_.fetch_add(1, std::memory_order_relaxed);
+  return verdict;
 }
 
 std::future<Response> ShardedFrontend::GatherStatus(
-    std::vector<std::future<Response>> futures) {
+    std::vector<std::vector<std::future<Response>>> acks) {
   return std::async(
-      std::launch::deferred, [futures = std::move(futures)]() mutable {
+      std::launch::deferred, [this, acks = std::move(acks)]() mutable {
         Status first_bad = Status::Ok();
-        for (auto& f : futures) {
-          const Status s = f.get().update();
-          if (!s.ok() && first_bad.ok()) first_bad = s;
+        // Every shard's acks are gathered even after a failure — each
+        // replica's outcome must land in the health/ack accounting.
+        for (uint32_t s = 0; s < acks.size(); ++s) {
+          if (acks[s].empty()) continue;
+          Status status = GatherAcks(s, &acks[s]);
+          if (!status.ok() && first_bad.ok()) first_bad = std::move(status);
         }
         return Response{UpdateResult(std::move(first_bad))};
       });
 }
 
+// --- The unified entry points ----------------------------------------------
+
 std::future<Response> ShardedFrontend::Submit(Request request) {
-  if (sessions_.empty() || !request.is_read()) {
+  if (groups_.empty() || !request.is_read()) {
     return SubmitUpdate(std::move(request));
   }
   std::vector<Request> one;
@@ -282,7 +574,9 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
 
   // Pin one snapshot per shard for the whole planning pass: every pruning
   // decision of this batch reads one consistent ball + routing distance
-  // per shard. (The shard sessions still pin their own flush-time
+  // per shard. Planning reads the PRIMARY replica's version — replicas
+  // are content-identical, so any one of them is authoritative for
+  // routing. (The replica sessions still pin their own flush-time
   // versions for the queries themselves — same freshness contract the
   // blind scatter had.)
   std::vector<GtsIndex::ReadSnapshot> snaps;
@@ -291,8 +585,8 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     for (const Request& r : requests) any_read |= r.is_read();
     if (any_read) {
       snaps.reserve(n);
-      for (auto& session : sessions_) {
-        snaps.push_back(session->index()->SnapshotForRead());
+      for (auto& group : groups_) {
+        snaps.push_back(group->replicas[0]->index()->SnapshotForRead());
         // The batch's routing probes against this shard are one
         // concurrent probe wave, not a serial chain (AnchorClock).
         snaps.back().AnchorClock();
@@ -353,7 +647,8 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     // Mirror QuerySession's validation (same message) so a rejected read
     // never reaches the planner. `!(cap >= 0)` rejects NaN.
     const bool valid =
-        query.size() == 1 && sessions_[0]->index()->CompatibleData(query) &&
+        query.size() == 1 &&
+        groups_[0]->replicas[0]->index()->CompatibleData(query) &&
         (knn == nullptr || knn->bound_cap >= 0.0f) &&
         (approx == nullptr || (approx->candidate_fraction > 0.0 &&
                                approx->candidate_fraction <= 1.0));
@@ -453,7 +748,7 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     item.k = knn->k;
     item.client_cap = knn->bound_cap;
     item.deadline_micros = request.deadline_micros;
-    item.seed_shard = cands[seed].first;
+    const uint32_t seed_shard = cands[seed].first;
     item.deferred.reserve(cands.size() - 1);
     for (size_t c = 0; c < cands.size(); ++c) {
       if (c != seed) item.deferred.push_back(cands[c]);
@@ -462,31 +757,31 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     sub.deadline_micros = request.deadline_micros;
     sub.payload = KnnPayload{knn->query, knn->k, knn->bound_cap};
     item.query = std::move(knn->query);
-    knn_plans.push_back(
-        KnnPlan{i, knn_state->items.size(),
-                GatherRef{item.seed_shard, shard_reqs[item.seed_shard].size()}});
-    shard_reqs[item.seed_shard].push_back(std::move(sub));
+    knn_plans.push_back(KnnPlan{i, knn_state->items.size(),
+                                GatherRef{seed_shard,
+                                          shard_reqs[seed_shard].size()}});
+    shard_reqs[seed_shard].push_back(std::move(sub));
     knn_state->items.push_back(std::move(item));
   }
 
-  // --- Scatter: one batched submission per shard -----------------------
-  std::vector<std::vector<std::future<Response>>> shard_futs(n);
+  // --- Scatter: one batched submission per shard, to its picked replica
+  std::vector<std::vector<SubRead>> shard_subs(n);
   for (uint32_t s = 0; s < n; ++s) {
     if (shard_reqs[s].empty()) continue;
-    shard_futs[s] = sessions_[s]->SubmitBatch(std::move(shard_reqs[s]));
+    shard_subs[s] = SubmitShardWave(s, std::move(shard_reqs[s]));
   }
 
-  // --- Gather: wire deferred merges ------------------------------------
+  // --- Gather: wire deferred merges (AwaitRead supplies the failover) --
   for (ScatterPlan& plan : scatter_plans) {
-    std::vector<std::pair<uint32_t, std::future<Response>>> subs;
+    std::vector<SubRead> subs;
     subs.reserve(plan.subs.size());
     for (const GatherRef& ref : plan.subs) {
-      subs.emplace_back(ref.shard, std::move(shard_futs[ref.shard][ref.pos]));
+      subs.push_back(std::move(shard_subs[ref.shard][ref.pos]));
     }
     if (plan.is_range) {
       futures[plan.index] = std::async(
           std::launch::deferred,
-          [n, subs = std::move(subs)]() mutable -> Response {
+          [this, n, subs = std::move(subs)]() mutable -> Response {
             // Union of per-shard hits, remapped to global ids and sorted
             // ascending — the canonical range order (search_range.cc
             // sorts each per-query result), so the merge is
@@ -495,14 +790,14 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
             // construction (their balls cannot intersect the query ball).
             std::vector<uint32_t> merged;
             Status first_bad = Status::Ok();
-            for (auto& [shard, f] : subs) {
-              RangeResult res = std::move(f.get().range());
+            for (SubRead& sub : subs) {
+              RangeResult res = std::move(AwaitRead(&sub).range());
               if (!res.ok()) {
                 if (first_bad.ok()) first_bad = res.status();
                 continue;
               }
               for (const uint32_t local : res.value()) {
-                auto gid = ComposeGlobalId(local, shard, n);
+                auto gid = ComposeGlobalId(local, sub.shard, n);
                 if (!gid.ok()) {
                   if (first_bad.ok()) first_bad = gid.status();
                   break;
@@ -517,17 +812,17 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     } else {
       futures[plan.index] = std::async(
           std::launch::deferred,
-          [n, k = plan.k, subs = std::move(subs)]() mutable -> Response {
+          [this, n, k = plan.k, subs = std::move(subs)]() mutable -> Response {
             std::vector<Neighbor> merged;
             Status first_bad = Status::Ok();
-            for (auto& [shard, f] : subs) {
-              KnnResult res = std::move(f.get().knn());
+            for (SubRead& sub : subs) {
+              KnnResult res = std::move(AwaitRead(&sub).knn());
               if (!res.ok()) {
                 if (first_bad.ok()) first_bad = res.status();
                 continue;
               }
               for (const Neighbor& nb : res.value()) {
-                auto gid = ComposeGlobalId(nb.id, shard, n);
+                auto gid = ComposeGlobalId(nb.id, sub.shard, n);
                 if (!gid.ok()) {
                   if (first_bad.ok()) first_bad = gid.status();
                   break;
@@ -543,8 +838,8 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     }
   }
   for (const KnnPlan& plan : knn_plans) {
-    knn_state->items[plan.item].seed_future =
-        std::move(shard_futs[plan.seed.shard][plan.seed.pos]);
+    knn_state->items[plan.item].seed =
+        std::move(shard_subs[plan.seed.shard][plan.seed.pos]);
     futures[plan.index] =
         std::async(std::launch::deferred,
                    [state = knn_state, item = plan.item]() -> Response {
@@ -565,7 +860,7 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
 }
 
 std::future<Response> ShardedFrontend::SubmitUpdate(Request request) {
-  if (sessions_.empty()) {
+  if (groups_.empty()) {
     return ResolvedFuture(ErrorResponse(
         request, Status::InvalidArgument("frontend has no shards")));
   }
@@ -577,26 +872,73 @@ std::future<Response> ShardedFrontend::SubmitUpdate(Request request) {
           request, Status::InvalidArgument("insert object invalid")));
     }
     const uint32_t shard = ShardForObject(insert->object, 0);
-    auto future = sessions_[shard]->Submit(std::move(request));
+    auto acks = FanWrite(shard, request);
     return std::async(
         std::launch::deferred,
-        [n, shard, future = std::move(future)]() mutable -> Response {
-          InsertResult res = std::move(future.get().inserted());
-          if (!res.ok()) return Response{InsertResult(res.status())};
+        [this, n, shard, acks = std::move(acks)]() mutable -> Response {
+          fault::Registry& faults = fault::Registry::Instance();
+          const uint32_t rf = static_cast<uint32_t>(acks.size());
+          std::vector<Status> statuses;
+          statuses.reserve(rf);
+          std::vector<uint32_t> failed;
+          uint64_t local = 0;
+          bool have_local = false;
+          bool diverged = false;
+          for (uint32_t r = 0; r < rf; ++r) {
+            InsertResult res = std::move(acks[r].get().inserted());
+            Status status = res.ok() ? Status::Ok() : res.status();
+            if (status.ok() && faults.Trip("shard.write-ack", r)) {
+              status =
+                  Status::Unavailable("injected fault: shard.write-ack");
+            }
+            if (status.ok()) {
+              // Every acked replica must have assigned the SAME local id
+              // — the write mutex guarantees it; a mismatch means the
+              // replicas forked and the global id would be a lie.
+              if (!have_local) {
+                local = res.value();
+                have_local = true;
+              } else if (res.value() != local) {
+                diverged = true;
+              }
+            } else {
+              failed.push_back(r);
+            }
+            statuses.push_back(std::move(status));
+          }
+          if (diverged) {
+            return Response{InsertResult(Status::Internal(
+                "replica local-id divergence on shard " +
+                std::to_string(shard)))};
+          }
+          bool partial = false;
+          Status verdict = AckVerdict(shard, rf, statuses, failed, &partial);
+          if (partial) {
+            partial_write_acks_.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!verdict.ok()) {
+            return Response{InsertResult(std::move(verdict))};
+          }
           // An overflowing composition reports the error AFTER the shard
           // applied the insert — the id space is exhausted, not the
           // update rolled back.
-          auto gid = ComposeGlobalId(res.value(), shard, n);
+          auto gid = ComposeGlobalId(local, shard, n);
           if (!gid.ok()) return Response{InsertResult(gid.status())};
           return Response{InsertResult(gid.value())};
         });
   }
   if (auto* remove = std::get_if<RemovePayload>(&request.payload)) {
-    // Pure id routing: shard and local id are both recoverable from the
-    // global id, so the shard session's response passes through as-is.
+    // Id routing: shard and local id are both recoverable from the global
+    // id. The removal fans to every replica of the owning shard, and the
+    // gather demands every ack (file comment).
     const uint32_t shard = ShardOfId(remove->id);
     remove->id = LocalId(remove->id);
-    return sessions_[shard]->Submit(std::move(request));
+    auto acks = FanWrite(shard, request);
+    return std::async(
+        std::launch::deferred,
+        [this, shard, acks = std::move(acks)]() mutable -> Response {
+          return Response{UpdateResult(GatherAcks(shard, &acks))};
+        });
   }
   if (const auto* batch = std::get_if<BatchUpdatePayload>(&request.payload)) {
     // Pre-validate the inserts against every shard BEFORE scattering: a
@@ -606,10 +948,11 @@ std::future<Response> ShardedFrontend::SubmitUpdate(Request request) {
     // shards apply their sub-updates while another shard rejects.
     // Mid-update failures (a shard's memory budget, say) remain
     // per-shard — sharded atomicity without a 2PC is best-effort, and
-    // the header says so.
-    for (const auto& session : sessions_) {
+    // the header says so. The primary replica stands in for the shard
+    // (replicas share kind/dim by construction).
+    for (const auto& group : groups_) {
       if (!batch->inserts.empty() &&
-          !session->index()->CompatibleData(batch->inserts)) {
+          !group->replicas[0]->index()->CompatibleData(batch->inserts)) {
         return ResolvedFuture(ErrorResponse(
             request, Status::InvalidArgument(
                          "inserted objects incompatible with dataset")));
@@ -629,43 +972,68 @@ std::future<Response> ShardedFrontend::SubmitUpdate(Request request) {
     for (uint32_t i = 0; i < batch->inserts.size(); ++i) {
       insert_ids[ShardForObject(batch->inserts, i)].push_back(i);
     }
-    std::vector<std::future<Response>> futures;
-    futures.reserve(n);
+    std::vector<std::vector<std::future<Response>>> acks(n);
     for (uint32_t s = 0; s < n; ++s) {
       Request sub;
       sub.deadline_micros = request.deadline_micros;
       sub.payload = BatchUpdatePayload{batch->inserts.Slice(insert_ids[s]),
                                        std::move(removals[s])};
-      futures.push_back(sessions_[s]->Submit(std::move(sub)));
+      acks[s] = FanWrite(s, sub);
     }
-    return GatherStatus(std::move(futures));
+    return GatherStatus(std::move(acks));
   }
-  // Rebuild: every shard reconstructs, deadline target included.
-  return GatherStatus(Scatter(RebuildPayload{}, request.deadline_micros));
+  // Rebuild: every shard (every replica) reconstructs, deadline target
+  // included.
+  std::vector<std::vector<std::future<Response>>> acks(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    Request sub;
+    sub.deadline_micros = request.deadline_micros;
+    sub.payload = RebuildPayload{};
+    acks[s] = FanWrite(s, sub);
+  }
+  return GatherStatus(std::move(acks));
 }
 
 void ShardedFrontend::Flush() {
-  for (auto& session : sessions_) session->Flush();
+  for (auto& group : groups_) {
+    for (auto& replica : group->replicas) replica->Flush();
+  }
 }
 
 void ShardedFrontend::Drain() {
-  for (auto& session : sessions_) session->Drain();
+  for (auto& group : groups_) {
+    for (auto& replica : group->replicas) replica->Drain();
+  }
 }
 
 FrontendStats ShardedFrontend::stats() const {
   FrontendStats out;
-  out.shards.reserve(sessions_.size());
-  for (const auto& session : sessions_) {
-    const SessionStats s = session->stats();
-    out.submitted += s.submitted;
-    out.rejected += s.rejected;
-    out.completed += s.completed;
-    out.writer_ops += s.writer_ops;
-    out.deadline_missed += s.deadline_missed;
-    out.shards.push_back(s);
+  const uint32_t rf = replication_factor();
+  out.replication_factor = rf == 0 ? 1 : rf;
+  out.shards.reserve(groups_.size() * rf);
+  for (const auto& group : groups_) {
+    for (const auto& replica : group->replicas) {
+      const SessionStats s = replica->stats();
+      out.submitted += s.submitted;
+      out.rejected += s.rejected;
+      out.completed += s.completed;
+      out.writer_ops += s.writer_ops;
+      out.deadline_missed += s.deadline_missed;
+      out.shards.push_back(s);
+    }
   }
   out.scatter_reads = scatter_reads_.load(std::memory_order_relaxed);
   out.pruned_shard_queries = pruned_.load(std::memory_order_relaxed);
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.read_retries = read_retries_.load(std::memory_order_relaxed);
+  out.unhealthy_transitions =
+      unhealthy_transitions_.load(std::memory_order_relaxed);
+  out.health_probes = health_probes_.load(std::memory_order_relaxed);
+  out.replica_recoveries =
+      replica_recoveries_.load(std::memory_order_relaxed);
+  out.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
+  out.partial_write_acks =
+      partial_write_acks_.load(std::memory_order_relaxed);
   return out;
 }
 
