@@ -7,7 +7,7 @@ namespace gts::epoch {
 
 Domain::~Domain() {
   // By contract no guard is live; everything left in limbo is unreachable.
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(&limbo_mu_);
   for (const Limbo& item : limbo_) item.deleter(item.ptr);
   reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);
   limbo_.clear();
@@ -30,7 +30,7 @@ void Domain::Retire(void* p, void (*deleter)(void*)) {
   const uint64_t stamp = global_.fetch_add(1, std::memory_order_seq_cst);
   retired_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(&limbo_mu_);
     limbo_.push_back(Limbo{p, deleter, stamp});
   }
   Reclaim();
@@ -40,7 +40,7 @@ void Domain::Reclaim() {
   // Scan slots AFTER taking the limbo mutex: a guard pinned after the scan
   // starts holds an epoch >= some value the scan already accounted for
   // (epochs only grow), so it cannot protect an item the scan frees.
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(&limbo_mu_);
   if (limbo_.empty()) return;
   const uint64_t min_active = MinActiveEpoch();
   auto doomed = std::partition(
@@ -53,7 +53,7 @@ void Domain::Reclaim() {
 }
 
 size_t Domain::limbo_size() const {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(&limbo_mu_);
   return limbo_.size();
 }
 

@@ -33,8 +33,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace gts::epoch {
 
@@ -57,7 +58,7 @@ class Domain {
   /// Hands `p` to the domain for deferred deletion: `deleter(p)` runs once
   /// no live guard can still observe it (possibly inside this call, when
   /// no guard is pinned). Advances the global epoch.
-  void Retire(void* p, void (*deleter)(void*));
+  void Retire(void* p, void (*deleter)(void*)) EXCLUDES(limbo_mu_);
 
   /// Typed convenience over the raw Retire.
   template <typename T>
@@ -69,7 +70,7 @@ class Domain {
   /// Attempts to free limbo items that no live guard protects. Retire
   /// calls this automatically; explicit calls are for tests and for
   /// draining after the last guard of a quiescent phase releases.
-  void Reclaim();
+  void Reclaim() EXCLUDES(limbo_mu_);
 
   /// Current global epoch (starts at 1, advances once per Retire).
   uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
@@ -82,7 +83,7 @@ class Domain {
     return reclaimed_.load(std::memory_order_relaxed);
   }
   /// Retired objects still awaiting reclamation.
-  size_t limbo_size() const;
+  size_t limbo_size() const EXCLUDES(limbo_mu_);
   /// Guards currently pinned (a point-in-time scan, for tests/monitoring).
   size_t active_guards() const;
 
@@ -112,8 +113,8 @@ class Domain {
   std::atomic<uint64_t> global_{1};
   std::vector<Slot> slots_{kSlots};
 
-  mutable std::mutex limbo_mu_;
-  std::vector<Limbo> limbo_;
+  mutable Mutex limbo_mu_;
+  std::vector<Limbo> limbo_ GUARDED_BY(limbo_mu_);
   std::atomic<uint64_t> retired_{0};
   std::atomic<uint64_t> reclaimed_{0};
 };

@@ -80,21 +80,21 @@ Registry::Site Registry::MakeSite(const std::string& site,
 }
 
 void Registry::Arm(const std::string& site, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = sites_.insert_or_assign(site, MakeSite(site, spec));
   (void)it;
   if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Registry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (sites_.erase(site) > 0) {
     armed_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 bool Registry::TryGet(const std::string& site, FaultSpec* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   *out = it->second.spec;
@@ -102,18 +102,18 @@ bool Registry::TryGet(const std::string& site, FaultSpec* out) const {
 }
 
 SiteCounters Registry::Counters(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? SiteCounters{} : it->second.counters;
 }
 
 uint64_t Registry::seed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return seed_;
 }
 
 void Registry::ResetForTest(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_.fetch_sub(sites_.size(), std::memory_order_relaxed);
   sites_.clear();
   seed_ = seed;
@@ -124,7 +124,7 @@ bool Registry::Evaluate(const char* site, uint64_t key, uint64_t* delay_out) {
   // no lock, no RNG, no counter. This is what makes threading injection
   // sites through serving hot paths free in ordinary runs.
   if (armed_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   Site& s = it->second;

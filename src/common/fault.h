@@ -37,10 +37,10 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace gts::fault {
 
@@ -86,30 +86,30 @@ class Registry {
   /// Evaluates `site` once: true = the caller must simulate a failure
   /// here. `key` identifies the sub-target (replica index, worker
   /// index); see FaultSpec::match_key.
-  bool Trip(const char* site, uint64_t key = 0);
+  bool Trip(const char* site, uint64_t key = 0) EXCLUDES(mu_);
 
   /// Delay-flavored evaluation: the spec's delay_micros on a firing
   /// evaluation, 0 otherwise.
-  uint64_t TripDelayMicros(const char* site, uint64_t key = 0);
+  uint64_t TripDelayMicros(const char* site, uint64_t key = 0) EXCLUDES(mu_);
 
   /// Arms (or re-arms, restarting the schedule and counters of) `site`.
-  void Arm(const std::string& site, const FaultSpec& spec);
+  void Arm(const std::string& site, const FaultSpec& spec) EXCLUDES(mu_);
   /// Disarms `site`; a no-op when not armed.
-  void Disarm(const std::string& site);
+  void Disarm(const std::string& site) EXCLUDES(mu_);
   /// Copies the armed spec of `site` into `*out`; false when disarmed.
-  bool TryGet(const std::string& site, FaultSpec* out) const;
+  bool TryGet(const std::string& site, FaultSpec* out) const EXCLUDES(mu_);
   /// The site's accounting since it was (last) armed; zeros if disarmed.
-  SiteCounters Counters(const std::string& site) const;
+  SiteCounters Counters(const std::string& site) const EXCLUDES(mu_);
   /// Currently armed sites.
   uint64_t armed_sites() const {
     return armed_.load(std::memory_order_relaxed);
   }
   /// The seed site schedules derive from.
-  uint64_t seed() const;
+  uint64_t seed() const EXCLUDES(mu_);
 
   /// Test hook: disarms every site and replaces the seed, so a test (or
   /// a chaos replay) starts from a clean, reproducible registry state.
-  void ResetForTest(uint64_t seed);
+  void ResetForTest(uint64_t seed) EXCLUDES(mu_);
 
  private:
   Registry();
@@ -123,16 +123,18 @@ class Registry {
 
   /// Shared body of Trip / TripDelayMicros: evaluates the site's
   /// schedule once and reports whether it fired.
-  bool Evaluate(const char* site, uint64_t key, uint64_t* delay_out);
+  bool Evaluate(const char* site, uint64_t key, uint64_t* delay_out)
+      EXCLUDES(mu_);
   /// Builds a freshly-seeded schedule state for `site` under `spec`.
-  Site MakeSite(const std::string& site, const FaultSpec& spec) const;
+  Site MakeSite(const std::string& site, const FaultSpec& spec) const
+      REQUIRES(mu_);
 
   /// Armed-site count, mirrored outside the mutex: the disarmed-registry
   /// fast path in Trip is one relaxed load of this.
   std::atomic<uint64_t> armed_{0};
-  mutable std::mutex mu_;
-  uint64_t seed_;  // guarded by mu_
-  std::map<std::string, Site> sites_;  // guarded by mu_
+  mutable Mutex mu_;
+  uint64_t seed_ GUARDED_BY(mu_);
+  std::map<std::string, Site> sites_ GUARDED_BY(mu_);
 };
 
 /// RAII arming for tests: arms `site` with `spec` on construction and on

@@ -68,6 +68,10 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Build(Dataset data,
   version->tree = std::move(tree);
   version->live = std::move(live);
   version->cache = std::make_shared<const CacheList>();
+  // Exclusive construction — no other thread can see the index yet — but
+  // the guarded fields contractually demand the writer mutex, so take it
+  // for the tail. Uncontended, and the analysis stays uniform.
+  MutexLock lock(&index->writer_mu_);
   version->version_id = index->next_version_id_++;
   version->ball = index->ComputeCoveringBall(*version);
   GTS_RETURN_IF_ERROR(index->UpdateResidentBytes(version.get()));
@@ -358,7 +362,7 @@ Result<KnnResults> GtsIndex::ReadSnapshot::KnnQueryBatchApprox(
 // --- Update strategies -----------------------------------------------------
 
 Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   if (!CompatibleData(src)) {
     return Status::InvalidArgument("inserted object incompatible with dataset");
   }
@@ -411,7 +415,7 @@ Result<uint32_t> GtsIndex::Insert(const Dataset& src, uint32_t idx) {
 }
 
 Status GtsIndex::Remove(uint32_t id) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const Version& cur = Current();
   if (id >= cur.data->size() || !cur.live->alive[id]) {
     return Status::NotFound("object not present");
@@ -456,7 +460,7 @@ Status GtsIndex::Remove(uint32_t id) {
 
 Status GtsIndex::BatchUpdate(const Dataset& inserts,
                              std::span<const uint32_t> removals) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   if (!inserts.empty() && !CompatibleData(inserts)) {
     return Status::InvalidArgument("inserted objects incompatible with dataset");
   }
@@ -493,7 +497,7 @@ Status GtsIndex::BatchUpdate(const Dataset& inserts,
 }
 
 Status GtsIndex::Rebuild() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(&writer_mu_);
   const Version& cur = Current();
   auto next = std::make_unique<Version>();
   next->data = cur.data;

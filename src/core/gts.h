@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -39,6 +38,7 @@
 
 #include "common/epoch.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/cache_list.h"
 #include "core/node.h"
@@ -321,22 +321,24 @@ class GtsIndex {
   /// Streaming insert: copies object `idx` of `src` into the cache table
   /// (O(1) modeled device cost); rebuilds when the cache budget overflows.
   /// Returns the new id.
-  Result<uint32_t> Insert(const Dataset& src, uint32_t idx);
+  Result<uint32_t> Insert(const Dataset& src, uint32_t idx)
+      EXCLUDES(writer_mu_);
 
   /// Streaming delete: removes from the cache when present, otherwise
   /// tombstones the table-list entry (O(1) modeled device cost).
-  Status Remove(uint32_t id);
+  Status Remove(uint32_t id) EXCLUDES(writer_mu_);
 
   /// Batch update: applies all removals and inserts, then reconstructs the
   /// index with the parallel builder (paper §4.4 "Batch Updates"). The
   /// whole batch lands in one published version: a concurrent reader sees
   /// either none of it or all of it.
-  Status BatchUpdate(const Dataset& inserts, std::span<const uint32_t> removals);
+  Status BatchUpdate(const Dataset& inserts,
+                     std::span<const uint32_t> removals) EXCLUDES(writer_mu_);
 
   /// Forces full reconstruction over the alive objects. Double-buffered:
   /// the new tree is built beside the published version (readers keep
   /// querying the old tables at full speed) and swapped in at the end.
-  Status Rebuild();
+  Status Rebuild() EXCLUDES(writer_mu_);
 
   /// Persists the complete index state (options, dataset, tree tables,
   /// liveness, cache) to a binary file. Serializes one pinned version —
@@ -421,11 +423,13 @@ class GtsIndex {
 
   // --- Test hooks -------------------------------------------------------
 
-  /// Acquires the writer mutex and returns the lock, stalling every update
-  /// strategy until it is released. Reads must still complete while it is
+  /// The writer mutex, for tests that lock it directly (gts::MutexLock)
+  /// to stall every update strategy. Reads must still complete while it is
   /// held — tests/gts_snapshot_test.cc holds it across a full query batch
   /// to prove the read path never touches the writer lock.
-  std::unique_lock<std::mutex> LockWriterForTest() { return std::unique_lock(writer_mu_); }
+  Mutex* WriterMutexForTest() RETURN_CAPABILITY(writer_mu_) {
+    return &writer_mu_;
+  }
 
   /// Superseded versions handed to the epoch domain since construction.
   uint64_t versions_retired() const { return epoch_.retired_count(); }
@@ -617,20 +621,22 @@ class GtsIndex {
   /// Recomputes `v`'s device residency, adjusts the device reservation by
   /// the delta from the previous version, and stamps v->resident_bytes.
   /// Caller holds the writer mutex.
-  Status UpdateResidentBytes(Version* v);
+  Status UpdateResidentBytes(Version* v) REQUIRES(writer_mu_);
   /// Rebuilds `v`'s tree over its alive objects (build-beside: readers of
   /// the published version are untouched), resets its tombstone count,
   /// empties its cache and recomputes its covering ball. Caller holds the
   /// writer mutex.
-  Status RebuildVersion(Version* v) const;
+  Status RebuildVersion(Version* v) const REQUIRES(writer_mu_);
   /// Exact covering ball of `v`'s alive objects: pivot = the tree's root
   /// pivot (central by FFT construction) or the first alive id, radius =
   /// one scan of alive distances, charged to the device clock. Caller
-  /// holds the writer mutex (Build/Load: exclusive construction).
-  CoveringBall ComputeCoveringBall(const Version& v) const;
+  /// holds the writer mutex (Build/Load lock it for the construction tail
+  /// so the contract is uniform even though the index is not yet shared).
+  CoveringBall ComputeCoveringBall(const Version& v) const
+      REQUIRES(writer_mu_);
   /// Publishes `next` as the current version and retires the predecessor
   /// through the epoch domain. Caller holds the writer mutex.
-  void Publish(std::unique_ptr<Version> next);
+  void Publish(std::unique_ptr<Version> next) REQUIRES(writer_mu_);
   /// Completes one query call: folds its counters into the atomic
   /// aggregate, merges its private clock into the shared device clock as a
   /// concurrent sub-timeline, and copies the counters to `stats_out` when
@@ -683,9 +689,10 @@ class GtsIndex {
   // can fold their counters in lock-free.
   std::atomic<const Version*> current_{nullptr};
   mutable epoch::Domain epoch_;
-  std::mutex writer_mu_;
-  uint64_t next_version_id_ = 1;
-  uint64_t resident_bytes_ = 0;  ///< current device reservation
+  Mutex writer_mu_;
+  uint64_t next_version_id_ GUARDED_BY(writer_mu_) = 1;
+  /// Current device reservation.
+  uint64_t resident_bytes_ GUARDED_BY(writer_mu_) = 0;
 
   mutable std::atomic<uint64_t> stat_distances_{0};
   mutable std::atomic<uint64_t> stat_nodes_{0};

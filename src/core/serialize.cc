@@ -156,6 +156,9 @@ Result<std::unique_ptr<GtsIndex>> GtsIndex::Load(const std::string& path,
 
   std::unique_ptr<GtsIndex> index(new GtsIndex(
       metric, device, options, data.value().kind(), data.value().dim()));
+  // Exclusive construction, but the guarded fields demand the writer
+  // mutex (see GtsIndex::Build); uncontended here.
+  MutexLock lock(&index->writer_mu_);
   auto version = std::make_unique<Version>();
   version->data = std::make_shared<const Dataset>(std::move(data).value());
   version->tree = std::move(tree);

@@ -11,7 +11,7 @@ Device::Device(DeviceOptions options)
 
 Status Device::Allocate(uint64_t bytes, const char* what) {
   const uint64_t budget = memory_bytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (allocated_bytes_ + bytes > budget) {
     return Status::MemoryLimit(
         std::string(what) + ": requested " + std::to_string(bytes) +
@@ -26,7 +26,7 @@ Status Device::Allocate(uint64_t bytes, const char* what) {
 }
 
 void Device::Free(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   allocated_bytes_ = (bytes > allocated_bytes_) ? 0 : allocated_bytes_ - bytes;
 }
 

@@ -7,12 +7,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "gpu/sim_clock.h"
 
 namespace gts::gpu {
@@ -35,9 +35,9 @@ class Device {
 
   /// Reserves `bytes` of device memory; fails with kMemoryLimit when the
   /// budget would be exceeded. `what` names the allocation for diagnostics.
-  Status Allocate(uint64_t bytes, const char* what);
+  Status Allocate(uint64_t bytes, const char* what) EXCLUDES(mu_);
   /// Releases a prior reservation.
-  void Free(uint64_t bytes);
+  void Free(uint64_t bytes) EXCLUDES(mu_);
 
   uint64_t memory_bytes() const {
     return memory_bytes_.load(std::memory_order_relaxed);
@@ -48,16 +48,16 @@ class Device {
     memory_bytes_.store(bytes, std::memory_order_relaxed);
   }
 
-  uint64_t allocated_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t allocated_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return allocated_bytes_;
   }
-  uint64_t peak_allocated_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t peak_allocated_bytes() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return peak_allocated_bytes_;
   }
-  void ResetPeak() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetPeak() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     peak_allocated_bytes_ = allocated_bytes_;
   }
 
@@ -69,9 +69,9 @@ class Device {
   DeviceOptions options_;
   SimClock clock_;
   std::atomic<uint64_t> memory_bytes_;
-  mutable std::mutex mu_;  // guards the two reservation counters
-  uint64_t allocated_bytes_ = 0;
-  uint64_t peak_allocated_bytes_ = 0;
+  mutable Mutex mu_;
+  uint64_t allocated_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_allocated_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII device allocation backed by host storage (the simulator executes on

@@ -41,7 +41,11 @@ struct ClockConfig {
 
 /// Accumulates simulated time. Charging is thread-safe (relaxed atomic
 /// accumulation), so concurrent query threads may share one clock without
-/// data races. Concurrent callers that want parallel-makespan semantics
+/// data races. Deliberately lock-free: this sits on every query's hot
+/// path, so there is no mutex here for the thread-safety analysis to
+/// check — the contract is "every member is a std::atomic, or const
+/// after construction" (config_), and the invariant linter's
+/// naked-primitives rule keeps it that way. Concurrent callers that want parallel-makespan semantics
 /// (overlapping work counted once, not summed) accumulate on a private
 /// SimClock and fold it in with MergeConcurrent on completion — the
 /// per-call QueryContext clocks in core/gts.h do exactly that, so

@@ -35,7 +35,11 @@ inline constexpr uint64_t kDistanceCallOps = 12;
 
 /// Cumulative work counters for one metric instance — a snapshot of the
 /// metric's internal atomic counters, so concurrent query threads can share
-/// one metric (counts accumulate with relaxed ordering).
+/// one metric (counts accumulate with relaxed ordering). Like SimClock,
+/// the counter path is deliberately lock-free — it runs once per distance
+/// evaluation — so the thread-safety contract here is structural (atomics
+/// plus thread-local staging, no shared mutable scratch) rather than a
+/// GUARDED_BY relationship the analysis could check.
 struct DistanceStats {
   uint64_t calls = 0;  ///< number of distance evaluations
   uint64_t ops = 0;    ///< elementary operations (dim or DP cells, plus

@@ -5,9 +5,9 @@
 #ifndef GTS_SERVE_LATCH_H_
 #define GTS_SERVE_LATCH_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace gts::serve {
 
@@ -17,19 +17,19 @@ class CountdownLatch {
   CountdownLatch(const CountdownLatch&) = delete;
   CountdownLatch& operator=(const CountdownLatch&) = delete;
 
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(m_);
-    if (--remaining_ == 0) cv_.notify_all();
+  void CountDown() EXCLUDES(m_) {
+    MutexLock lock(&m_);
+    if (--remaining_ == 0) cv_.SignalAll();
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
+  void Wait() EXCLUDES(m_) {
+    MutexLock lock(&m_);
+    while (remaining_ != 0) cv_.Wait(&m_);
   }
 
  private:
-  std::mutex m_;
-  std::condition_variable cv_;
-  size_t remaining_;
+  Mutex m_;
+  CondVar cv_;
+  size_t remaining_ GUARDED_BY(m_);
 };
 
 }  // namespace gts::serve

@@ -21,10 +21,10 @@ QueryExecutor::QueryExecutor(const GtsIndex* index, ExecutorOptions options)
 
 QueryExecutor::~QueryExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -32,8 +32,8 @@ void QueryExecutor::WorkerLoop(uint32_t worker) {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -52,30 +52,30 @@ void QueryExecutor::WorkerLoop(uint32_t worker) {
 
 void QueryExecutor::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(fn));
   }
-  work_cv_.notify_one();
+  work_cv_.SignalOne();
 }
 
 void QueryExecutor::Submit(std::vector<std::function<void()>> fns) {
   if (fns.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (std::function<void()>& fn : fns) {
       queue_.push_back(std::move(fn));
     }
   }
   // One pool-wide wake for the whole group (RunAll's pattern): cheaper
-  // than notify_one per item once the group spans several workers.
-  work_cv_.notify_all();
+  // than SignalOne per item once the group spans several workers.
+  work_cv_.SignalAll();
 }
 
 void QueryExecutor::RunAll(std::vector<std::function<void()>>* tasks) {
   if (tasks->empty()) return;
   CountdownLatch latch(tasks->size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (std::function<void()>& t : *tasks) {
       queue_.push_back([&latch, fn = std::move(t)] {
         fn();
@@ -83,7 +83,7 @@ void QueryExecutor::RunAll(std::vector<std::function<void()>>* tasks) {
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   latch.Wait();
 }
 

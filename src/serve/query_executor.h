@@ -17,16 +17,15 @@
 #ifndef GTS_SERVE_QUERY_EXECUTOR_H_
 #define GTS_SERVE_QUERY_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gts.h"
 
 namespace gts::serve {
@@ -79,7 +78,7 @@ class QueryExecutor {
   /// any directly-submitted sharded batches. The item must not block on
   /// work that is *behind* it in the queue (it would deadlock a fully
   /// occupied pool).
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Batched Submit: enqueues the whole group under ONE lock acquisition
   /// and one pool-wide wake, instead of a lock + wake per item — the
@@ -87,7 +86,7 @@ class QueryExecutor {
   /// flush fans all its shard tasks out in one call). Same queue, same
   /// ordering (the group lands contiguously, in vector order), same
   /// no-blocking-on-later-work contract per item.
-  void Submit(std::vector<std::function<void()>> fns);
+  void Submit(std::vector<std::function<void()>> fns) EXCLUDES(mu_);
 
   /// Worker threads in the pool.
   uint32_t num_threads() const {
@@ -102,11 +101,11 @@ class QueryExecutor {
 
  private:
   /// Runs all tasks on the pool and blocks until every one completed.
-  void RunAll(std::vector<std::function<void()>>* tasks);
+  void RunAll(std::vector<std::function<void()>>* tasks) EXCLUDES(mu_);
   /// `worker` is the thread's pool index — the fault-injection key of the
   /// `executor.task-delay` site (common/fault.h), so a test can slow one
   /// specific worker deterministically.
-  void WorkerLoop(uint32_t worker);
+  void WorkerLoop(uint32_t worker) EXCLUDES(mu_);
 
   /// Fans the precomputed shard `bounds` out on the pool, calling
   /// `run_shard(shard_index, begin, end)` for each, and returns the first
@@ -118,10 +117,10 @@ class QueryExecutor {
   const GtsIndex* index_;
   ExecutorOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for tasks
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for tasks
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -39,11 +39,11 @@ QuerySession::QuerySession(GtsIndex* index, QueryExecutor* executor,
 
 QuerySession::~QuerySession() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_dispatch_.notify_all();
-  cv_space_.notify_all();
+  cv_dispatch_.SignalAll();
+  cv_space_.SignalAll();
   dispatcher_.join();
 }
 
@@ -51,7 +51,7 @@ SessionStats QuerySession::stats() const {
   SessionStats out;
   std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out = stats_;
     window = latency_ms_;
   }
@@ -64,21 +64,19 @@ SessionStats QuerySession::stats() const {
 }
 
 uint64_t QuerySession::inflight_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_.submitted - stats_.completed;
 }
 
-bool QuerySession::AdmitRead(std::unique_lock<std::mutex>* lock) {
+bool QuerySession::AdmitRead() {
   if (stop_) return false;
   if (reads_.size() < options_.max_queue) return true;
   if (options_.admission == AdmissionPolicy::kReject) return false;
   // The dispatcher may not have been woken for the entries already pushed
   // in this same (batched) call — wake it, or the kBlock wait below would
   // deadlock on a queue only the dispatcher can drain.
-  cv_dispatch_.notify_all();
-  cv_space_.wait(*lock, [this] {
-    return stop_ || reads_.size() < options_.max_queue;
-  });
+  cv_dispatch_.SignalAll();
+  while (!stop_ && reads_.size() >= options_.max_queue) cv_space_.Wait(&mu_);
   return !stop_;
 }
 
@@ -211,10 +209,10 @@ std::vector<std::future<Response>> QuerySession::SubmitBatch(
 
   bool enqueued_any = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.rejected += invalid;
     for (Slot& slot : admit) {
-      if (!AdmitRead(&lock)) {
+      if (!AdmitRead()) {
         ++stats_.rejected;
         slot.read.promise.set_value(ReadError(
             slot.read,
@@ -227,7 +225,7 @@ std::vector<std::future<Response>> QuerySession::SubmitBatch(
   }
   // ONE dispatcher wake for the whole group — the amortization this entry
   // point exists for.
-  if (enqueued_any) cv_dispatch_.notify_all();
+  if (enqueued_any) cv_dispatch_.SignalAll();
   return futures;
 }
 
@@ -239,21 +237,21 @@ std::future<Response> QuerySession::SubmitRead(
   if (!ValidRead(read)) {
     const Status invalid =
         Status::InvalidArgument("query object invalid for this index");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.rejected;
     read.promise.set_value(ReadError(read, invalid));
     return future;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!AdmitRead(&lock)) {
+  MutexLock lock(&mu_);
+  if (!AdmitRead()) {
     ++stats_.rejected;
     read.promise.set_value(ReadError(
         read, Status::ResourceExhausted("session read queue full")));
     return future;
   }
   EnqueueRead(std::move(read), deadline_micros, submitted_at);
-  cv_dispatch_.notify_all();
+  cv_dispatch_.SignalAll();
   return future;
 }
 
@@ -268,7 +266,7 @@ std::future<Response> QuerySession::SubmitWrite(PendingWrite write,
     return future;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stop_) {
     const Status stopped = Status::ResourceExhausted("session stopped");
     write.promise.set_value(write.kind == PendingWrite::Kind::kInsert
@@ -281,37 +279,44 @@ std::future<Response> QuerySession::SubmitWrite(PendingWrite write,
   // frontend's BatchUpdate/Rebuild scatter) can be audited end to end.
   if (deadline_micros > 0) ++stats_.writer_deadline_carried;
   writes_.push_back(std::move(write));
-  cv_dispatch_.notify_all();
+  cv_dispatch_.SignalAll();
   return future;
 }
 
 void QuerySession::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Only nudge when something is queued: a stale flush_now_ would turn
   // the next submission into a degenerate singleton batch.
   if (reads_.empty()) return;
   flush_now_ = true;
-  cv_dispatch_.notify_all();
+  cv_dispatch_.SignalAll();
 }
 
 void QuerySession::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!reads_.empty()) {
     flush_now_ = true;
-    cv_dispatch_.notify_all();
+    cv_dispatch_.SignalAll();
   }
-  cv_drained_.wait(lock, [this] {
-    return reads_.empty() && writes_.empty() && !busy_;
-  });
+  while (!(reads_.empty() && writes_.empty() && !busy_)) {
+    cv_drained_.Wait(&mu_);
+  }
 }
 
 void QuerySession::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // The dispatcher holds mu_ for the whole loop except the off-lock
+  // RunWriter/RunFlush windows; explicit Lock/Unlock (rather than a
+  // scoped MutexLock) keeps those windows expressible — the analysis
+  // checks the lock is held at the loop head and released on return.
+  mu_.Lock();
   for (;;) {
-    cv_dispatch_.wait(lock, [this] {
-      return stop_ || !reads_.empty() || !writes_.empty();
-    });
-    if (stop_ && reads_.empty() && writes_.empty()) return;
+    while (!stop_ && reads_.empty() && writes_.empty()) {
+      cv_dispatch_.Wait(&mu_);
+    }
+    if (stop_ && reads_.empty() && writes_.empty()) {
+      mu_.Unlock();
+      return;
+    }
 
     // Writes first: every queued update is applied, in submission order,
     // before the next read flush is composed. A queued writer therefore
@@ -322,12 +327,12 @@ void QuerySession::DispatchLoop() {
       std::vector<PendingWrite> writes;
       writes.swap(writes_);
       busy_ = true;
-      lock.unlock();
+      mu_.Unlock();
       for (PendingWrite& w : writes) RunWriter(&w);
-      lock.lock();
+      mu_.Lock();
       busy_ = false;
       stats_.writer_ops += writes.size();
-      cv_drained_.notify_all();
+      cv_drained_.SignalAll();
       continue;
     }
     if (reads_.empty()) continue;
@@ -345,10 +350,10 @@ void QuerySession::DispatchLoop() {
       }
       const auto wait_until =
           oldest + std::chrono::microseconds(options_.max_wait_micros);
-      cv_dispatch_.wait_until(lock, wait_until, [this] {
-        return stop_ || flush_now_ || !writes_.empty() ||
-               reads_.size() >= options_.max_batch;
-      });
+      while (!stop_ && !flush_now_ && writes_.empty() &&
+             reads_.size() < options_.max_batch) {
+        if (cv_dispatch_.WaitUntil(&mu_, wait_until)) break;  // timed out
+      }
       if (reads_.empty()) continue;
     }
 
@@ -383,13 +388,13 @@ void QuerySession::DispatchLoop() {
     if (reads_.empty()) flush_now_ = false;
     ++stats_.flushes;
     busy_ = true;
-    cv_space_.notify_all();  // admission room freed
-    lock.unlock();
+    cv_space_.SignalAll();  // admission room freed
+    mu_.Unlock();
     RunFlush(&batch);
-    lock.lock();
+    mu_.Lock();
     busy_ = false;
     stats_.completed += batch.size();
-    cv_drained_.notify_all();
+    cv_drained_.SignalAll();
   }
 }
 
@@ -438,7 +443,7 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
     const Status down =
         Status::Unavailable("injected fault: session.flush");
     const auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (PendingRead& item : *batch) {
       item.promise.set_value(ReadError(item, down));
       if (item.has_deadline && now > item.deadline) {
@@ -564,7 +569,7 @@ void QuerySession::RunFlush(std::vector<PendingRead>* batch) {
 
   // Every promise of this flush is resolved; charge each item's latency
   // and deadline accounting at its own group's resolution instant.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (size_t i = 0; i < batch->size(); ++i) {
     const PendingRead& item = (*batch)[i];
     const double ms = std::chrono::duration<double, std::milli>(

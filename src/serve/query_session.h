@@ -49,18 +49,17 @@
 #define GTS_SERVE_QUERY_SESSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gts.h"
 #include "serve/query_executor.h"
 #include "serve/request.h"
@@ -176,7 +175,7 @@ class QuerySession {
   // composing the next read flush. `request.tenant` is ignored — a
   // session serves one index.
 
-  std::future<Response> Submit(Request request);
+  std::future<Response> Submit(Request request) EXCLUDES(mu_);
 
   /// Batched submission — Submit for a whole group of requests in one
   /// pass. Per-request semantics (validation, admission policy, deadline
@@ -190,7 +189,8 @@ class QuerySession {
   /// mid-batch (already-enqueued group members may flush meanwhile).
   /// Updates in the group take the ordinary write path, in order.
   /// futures[i] corresponds to requests[i].
-  std::vector<std::future<Response>> SubmitBatch(std::vector<Request> requests);
+  std::vector<std::future<Response>> SubmitBatch(
+      std::vector<Request> requests) EXCLUDES(mu_);
 
   // --- Legacy typed entry points ----------------------------------------
   // One-line compat wrappers over Submit(Request): they build the Request
@@ -233,15 +233,15 @@ class QuerySession {
 
   /// Nudges the batcher: everything queued right now flushes without
   /// waiting for max_batch / max_wait_micros.
-  void Flush();
+  void Flush() EXCLUDES(mu_);
   /// Blocks until every submission made before the call has completed.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Consistent snapshot of the counters and latency percentiles.
-  SessionStats stats() const;
+  SessionStats stats() const EXCLUDES(mu_);
   /// Reads admitted but not yet resolved (queued + mid-flush). O(1) —
   /// the quota-check path; stats() pays for percentile aggregation.
-  uint64_t inflight_reads() const;
+  uint64_t inflight_reads() const EXCLUDES(mu_);
   /// The index this session serves.
   const GtsIndex* index() const { return index_; }
 
@@ -284,13 +284,14 @@ class QuerySession {
   /// the admission wait is part of what the caller experiences, so it
   /// counts.
   std::future<Response> SubmitRead(PendingRead read, uint64_t deadline_micros,
-                                   Clock::time_point submitted_at);
+                                   Clock::time_point submitted_at)
+      EXCLUDES(mu_);
   /// Update-path body of Submit: enqueues for the dispatcher (never
   /// rejected while running). `deadline_micros` is telemetry only
   /// (SessionStats::writer_deadline_carried) — writes-first ordering
   /// already runs every queued update ahead of the next flush.
   std::future<Response> SubmitWrite(PendingWrite write,
-                                    uint64_t deadline_micros);
+                                    uint64_t deadline_micros) EXCLUDES(mu_);
 
   /// Translates a read payload into the internal work item; false (and
   /// `out` untouched) for update payloads. Moves out of `payload`.
@@ -303,18 +304,18 @@ class QuerySession {
 
   /// True when the read queue has admission room, waiting (kBlock) until
   /// it does; false when the submission must be rejected (kReject or
-  /// stopping). Called with `lock` held; wakes the dispatcher before a
-  /// kBlock wait so a backlog enqueued in the same (batched) call drains.
-  bool AdmitRead(std::unique_lock<std::mutex>* lock);
+  /// stopping). Wakes the dispatcher before a kBlock wait so a backlog
+  /// enqueued in the same (batched) call drains.
+  bool AdmitRead() REQUIRES(mu_);
   /// Queue insertion shared by SubmitRead and SubmitBatch: stamps the
-  /// seq / deadline bookkeeping and pushes. Called with the lock held;
-  /// the caller wakes the dispatcher.
+  /// seq / deadline bookkeeping and pushes. The caller wakes the
+  /// dispatcher.
   void EnqueueRead(PendingRead read, uint64_t deadline_micros,
-                   Clock::time_point submitted_at);
+                   Clock::time_point submitted_at) REQUIRES(mu_);
 
-  void DispatchLoop();
+  void DispatchLoop() EXCLUDES(mu_);
   /// Runs one coalesced flush cycle; called off-lock on the dispatcher.
-  void RunFlush(std::vector<PendingRead>* batch);
+  void RunFlush(std::vector<PendingRead>* batch) EXCLUDES(mu_);
   /// Applies one update work item; called off-lock on the dispatcher.
   void RunWriter(PendingWrite* write);
 
@@ -322,20 +323,24 @@ class QuerySession {
   QueryExecutor* executor_;
   SessionOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_dispatch_;  // dispatcher waits for work
-  std::condition_variable cv_space_;     // kBlock submitters wait for room
-  std::condition_variable cv_drained_;   // Drain() waits for quiescence
-  std::deque<PendingRead> reads_;
-  std::vector<PendingWrite> writes_;
-  SessionStats stats_;
-  uint64_t next_seq_ = 0;         ///< admission rank of the next read
-  uint64_t queued_deadlines_ = 0; ///< queued reads carrying a deadline
-  std::vector<double> latency_ms_;  ///< ring of recent completed-read ms
-  size_t latency_next_ = 0;
-  bool flush_now_ = false;
-  bool busy_ = false;  ///< dispatcher is mid-flush / mid-write (off-lock)
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_dispatch_;  // dispatcher waits for work
+  CondVar cv_space_;     // kBlock submitters wait for room
+  CondVar cv_drained_;   // Drain() waits for quiescence
+  std::deque<PendingRead> reads_ GUARDED_BY(mu_);
+  std::vector<PendingWrite> writes_ GUARDED_BY(mu_);
+  SessionStats stats_ GUARDED_BY(mu_);
+  /// Admission rank of the next read.
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  /// Queued reads carrying a deadline.
+  uint64_t queued_deadlines_ GUARDED_BY(mu_) = 0;
+  /// Ring of recent completed-read ms.
+  std::vector<double> latency_ms_ GUARDED_BY(mu_);
+  size_t latency_next_ GUARDED_BY(mu_) = 0;
+  bool flush_now_ GUARDED_BY(mu_) = false;
+  /// Dispatcher is mid-flush / mid-write (off-lock).
+  bool busy_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::thread dispatcher_;
 };

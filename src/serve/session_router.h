@@ -191,6 +191,11 @@ class SessionRouter {
 
  private:
   /// Heap-allocated because the atomic makes the struct immovable.
+  /// Routing state is lock-free by design: the tenant vector is immutable
+  /// after construction (mounted once, never resized), each tenant's
+  /// mutable state is this one atomic counter, and everything else locks
+  /// inside the owned QuerySession's annotated gts::Mutex — so the router
+  /// itself has no mutex for the thread-safety analysis to track.
   struct Tenant {
     GtsIndex* index = nullptr;
     std::unique_ptr<QuerySession> session;

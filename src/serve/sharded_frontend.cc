@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
@@ -134,12 +133,15 @@ struct ShardedFrontend::KnnScatter {
   };
 
   ShardedFrontend* frontend = nullptr;
-  std::mutex mu;
-  bool phase2_done = false;
+  Mutex mu;
+  bool phase2_done GUARDED_BY(mu) = false;
+  /// Written before the scatter is shared; after RunPhase2 flips
+  /// phase2_done each gather touches only its own item (items is
+  /// deliberately not guarded — the mutex serializes only phase 2).
   std::vector<Item> items;
 
-  /// Requires `mu` held. Idempotent; the first caller does the work.
-  void RunPhase2() {
+  /// Idempotent; the first caller does the work.
+  void RunPhase2() REQUIRES(mu) {
     if (phase2_done) return;
     phase2_done = true;
     const uint32_t n = frontend->num_shards();
@@ -196,7 +198,7 @@ struct ShardedFrontend::KnnScatter {
 
   Response Gather(size_t idx) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       RunPhase2();
     }
     // After RunPhase2, each gather touches only its own item.
@@ -279,10 +281,10 @@ ShardedFrontend::ShardedFrontend(std::vector<std::vector<GtsIndex*>> shards,
 
 ShardedFrontend::~ShardedFrontend() {
   {
-    std::lock_guard<std::mutex> lock(driver_mu_);
+    MutexLock lock(&driver_mu_);
     driver_stop_ = true;
   }
-  driver_cv_.notify_all();
+  driver_cv_.SignalAll();
   driver_.join();
   // Session destructors drain; explicit reset before the executor dies.
   groups_.clear();
@@ -292,9 +294,10 @@ void ShardedFrontend::DriverLoop() {
   for (;;) {
     std::shared_ptr<KnnScatter> state;
     {
-      std::unique_lock<std::mutex> lock(driver_mu_);
-      driver_cv_.wait(lock,
-                      [&] { return driver_stop_ || !driver_queue_.empty(); });
+      MutexLock lock(&driver_mu_);
+      while (!driver_stop_ && driver_queue_.empty()) {
+        driver_cv_.Wait(&driver_mu_);
+      }
       if (driver_queue_.empty()) return;  // stop requested, queue drained
       state = std::move(driver_queue_.front());
       driver_queue_.pop_front();
@@ -303,7 +306,7 @@ void ShardedFrontend::DriverLoop() {
     // fan-out. A caller that gathered first already did both (the flag
     // makes this a no-op); a caller gathering concurrently waits on the
     // state mutex, exactly as if it had raced another gatherer.
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->RunPhase2();
   }
 }
@@ -500,7 +503,7 @@ std::vector<std::future<Response>> ShardedFrontend::FanWrite(
   // local ids never diverge and replica content stays byte-identical.
   // Health is deliberately ignored — skipping an unhealthy replica would
   // silently fork its content, which is strictly worse than a failed ack.
-  std::lock_guard<std::mutex> lock(group.write_mu);
+  MutexLock lock(&group.write_mu);
   for (auto& replica : group.replicas) {
     Request copy = request;
     acks.push_back(replica->Submit(std::move(copy)));
@@ -851,10 +854,10 @@ std::vector<std::future<Response>> ShardedFrontend::SubmitBatch(
     // fan-out starts as soon as the seeds land, not when the caller first
     // gathers (DriverLoop).
     {
-      std::lock_guard<std::mutex> lock(driver_mu_);
+      MutexLock lock(&driver_mu_);
       driver_queue_.push_back(knn_state);
     }
-    driver_cv_.notify_one();
+    driver_cv_.SignalOne();
   }
   return futures;
 }

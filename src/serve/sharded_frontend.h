@@ -103,15 +103,14 @@
 #define GTS_SERVE_SHARDED_FRONTEND_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gts.h"
 #include "serve/query_executor.h"
 #include "serve/query_session.h"
@@ -294,7 +293,10 @@ class ShardedFrontend {
     std::vector<std::atomic<bool>> healthy;
     std::atomic<uint32_t> rr{0};     ///< first-attempt pick cursor
     std::atomic<uint32_t> picks{0};  ///< probe cadence counter
-    std::mutex write_mu;
+    /// Ordering capability, not a data guard: held across the full
+    /// submit-to-all-replicas span of FanWrite so every replica enqueues
+    /// this shard's updates in the same sequence. No fields hang off it.
+    Mutex write_mu;
   };
 
   /// One sub-query's failover state: the shard, the replica currently
@@ -316,7 +318,7 @@ class ShardedFrontend {
   /// behind a caller that gathers groups one at a time. Gather keeps its
   /// own idempotent RunPhase2 fallback, so correctness never depends on
   /// the driver's progress.
-  void DriverLoop();
+  void DriverLoop() EXCLUDES(driver_mu_);
 
   /// First-attempt replica pick for one shard's scatter wave:
   /// round-robin among the healthy replicas, with every probe_period-th
@@ -379,10 +381,10 @@ class ShardedFrontend {
   /// Phase-2 driver state (see DriverLoop). The queue holds the groups
   /// whose phase 2 has not been driven yet; the destructor stops the
   /// driver before draining the sessions.
-  std::mutex driver_mu_;
-  std::condition_variable driver_cv_;
-  std::deque<std::shared_ptr<KnnScatter>> driver_queue_;
-  bool driver_stop_ = false;
+  Mutex driver_mu_;
+  CondVar driver_cv_;
+  std::deque<std::shared_ptr<KnnScatter>> driver_queue_ GUARDED_BY(driver_mu_);
+  bool driver_stop_ GUARDED_BY(driver_mu_) = false;
   std::thread driver_;
 };
 

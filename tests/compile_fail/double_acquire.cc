@@ -1,0 +1,27 @@
+// Seeded violation: acquiring a non-reentrant mutex that is already held
+// (self-deadlock at runtime; a type error here).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    gts::MutexLock lock(&mu_);
+#ifndef GTS_FIXTURE_FIXED
+    mu_.Lock();  // BAD: mu_ is already held
+    ++value_;
+    mu_.Unlock();
+#else
+    ++value_;
+#endif
+  }
+
+ private:
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchDoubleAcquire() { Counter().Bump(); }

@@ -1,0 +1,34 @@
+// Seeded violation: calling an EXCLUDES(mu) function while holding mu —
+// the re-entry self-deadlock EXCLUDES annotations on the public entry
+// points (Submit, Flush, stats, ...) rule out.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void BumpTwice() {
+#ifndef GTS_FIXTURE_FIXED
+    gts::MutexLock lock(&mu_);
+    Bump();  // BAD: Bump() excludes mu_, which is held here
+    ++value_;
+#else
+    Bump();
+    gts::MutexLock lock(&mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  void Bump() EXCLUDES(mu_) {
+    gts::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchExcludesHeld() { Counter().BumpTwice(); }

@@ -1,0 +1,29 @@
+// Seeded violation: a path returns with the mutex still held (the classic
+// guard-escape / early-return leak that RAII locks exist to prevent).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump(bool fast) {
+#ifndef GTS_FIXTURE_FIXED
+    mu_.Lock();
+    ++value_;
+    if (fast) return;  // BAD: mu_ escapes this path still held
+    mu_.Unlock();
+#else
+    gts::MutexLock lock(&mu_);
+    ++value_;
+    if (fast) return;
+#endif
+  }
+
+ private:
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchLockNotReleased() { Counter().Bump(true); }

@@ -1,0 +1,26 @@
+// Seeded violation: releasing a mutex that was never acquired (the
+// mirror image of the leak in lock_not_released.cc).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifndef GTS_FIXTURE_FIXED
+    mu_.Unlock();  // BAD: mu_ was never locked on this path
+#else
+    mu_.Lock();
+    ++value_;
+    mu_.Unlock();
+#endif
+  }
+
+ private:
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchReleaseUnheld() { Counter().Bump(); }

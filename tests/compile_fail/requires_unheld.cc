@@ -1,0 +1,28 @@
+// Seeded violation: calling a REQUIRES(mu) function without holding mu —
+// the lock-precondition contract every private "caller holds the writer
+// mutex" helper in src/ now states in the type system.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifndef GTS_FIXTURE_FIXED
+    BumpLocked();  // BAD: mu_ not held
+#else
+    gts::MutexLock lock(&mu_);
+    BumpLocked();
+#endif
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchRequiresUnheld() { Counter().Bump(); }

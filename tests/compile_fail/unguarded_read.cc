@@ -1,0 +1,24 @@
+// Seeded violation: reading GUARDED_BY state without holding the mutex.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  long Get() const {
+#ifndef GTS_FIXTURE_FIXED
+    return value_;  // BAD: mu_ not held
+#else
+    gts::MutexLock lock(&mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  mutable gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+long TouchUnguardedRead() { return Counter().Get(); }

@@ -1,0 +1,24 @@
+// Seeded violation: writing GUARDED_BY state without holding the mutex.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+#ifndef GTS_FIXTURE_FIXED
+    ++value_;  // BAD: mu_ not held
+#else
+    gts::MutexLock lock(&mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  gts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchUnguardedWrite() { Counter().Bump(); }

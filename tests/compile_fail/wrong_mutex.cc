@@ -1,0 +1,27 @@
+// Seeded violation: state guarded by one mutex, accessed under another —
+// the mistake GUARDED_BY exists to make unrepresentable.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void Bump() {
+#ifndef GTS_FIXTURE_FIXED
+    gts::MutexLock lock(&other_mu_);  // BAD: value_ is guarded by mu_
+    ++value_;
+#else
+    gts::MutexLock lock(&mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  gts::Mutex mu_;
+  gts::Mutex other_mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchWrongMutex() { TwoLocks().Bump(); }

@@ -70,7 +70,7 @@ TEST(GtsSnapshotTest, ReadsCompleteWhileWriterMutexHeld) {
   const Dataset queries = SampleQueries(env.data, 16, 3);
   const std::vector<float> radii(queries.size(), r);
 
-  const auto writer_lock = env.index->LockWriterForTest();
+  const MutexLock writer_lock(env.index->WriterMutexForTest());
   auto reads = std::async(std::launch::async, [&] {
     const GtsIndex::ReadSnapshot snapshot = env.index->SnapshotForRead();
     EXPECT_TRUE(snapshot.RangeQueryBatch(queries, radii).ok());

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the thread-safety fixtures.
+
+Each fixture in tests/compile_fail/ seeds exactly one locking violation,
+active by default; compiling with -DGTS_FIXTURE_FIXED selects the corrected
+form instead. For every fixture this driver asserts both directions:
+
+  1. seeded form FAILS to compile, and the diagnostic is a -Wthread-safety
+     one (so a silently inert analysis — wrong flags, no-op macros under
+     clang, a regressed wrapper — cannot pass);
+  2. fixed form compiles cleanly with the same -Werror flags.
+
+Usage:
+  run_compile_fail.py --compiler <clang++> --src-dir <repo>/src \\
+      --fixture-dir <repo>/tests/compile_fail
+
+Requires a clang with -Wthread-safety; the script hard-fails on compilers
+that do not recognise the flag rather than vacuously passing.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+BASE_FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wall",
+    "-Wextra",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror",
+]
+
+
+def compile_fixture(compiler, src_dir, fixture, extra_flags):
+    cmd = [compiler] + BASE_FLAGS + ["-I", str(src_dir)] + extra_flags + [
+        str(fixture)
+    ]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    return proc.returncode, proc.stdout
+
+
+def check_compiler(compiler):
+    """The analysis must exist: reject compilers without -Wthread-safety."""
+    probe = subprocess.run(
+        [compiler, "-Wthread-safety", "-x", "c++", "-fsyntax-only", "-"],
+        input="int main(){}\n",
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if probe.returncode != 0 or "thread-safety" in probe.stdout:
+        print(f"error: {compiler} does not support -Wthread-safety:")
+        print(probe.stdout)
+        return False
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True)
+    parser.add_argument("--src-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--fixture-dir", required=True, type=pathlib.Path)
+    args = parser.parse_args()
+
+    if not check_compiler(args.compiler):
+        return 1
+
+    fixtures = sorted(args.fixture_dir.glob("*.cc"))
+    if not fixtures:
+        print(f"error: no fixtures found in {args.fixture_dir}")
+        return 1
+
+    failures = []
+    for fixture in fixtures:
+        # Seeded form must fail, for the right reason.
+        rc, out = compile_fixture(args.compiler, args.src_dir, fixture, [])
+        if rc == 0:
+            failures.append(
+                f"{fixture.name}: seeded violation COMPILED — the analysis "
+                "did not fire"
+            )
+        elif "thread-safety" not in out and "-Wthread-safety" not in out:
+            failures.append(
+                f"{fixture.name}: seeded form failed, but not with a "
+                f"thread-safety diagnostic:\n{out}"
+            )
+        else:
+            print(f"ok   {fixture.name}: seeded form rejected")
+
+        # Fixed form must compile warning-free.
+        rc, out = compile_fixture(
+            args.compiler, args.src_dir, fixture, ["-DGTS_FIXTURE_FIXED"]
+        )
+        if rc != 0:
+            failures.append(
+                f"{fixture.name}: fixed form FAILED to compile:\n{out}"
+            )
+        else:
+            print(f"ok   {fixture.name}: fixed form clean")
+
+    if failures:
+        print(f"\n{len(failures)} compile-fail assertion(s) violated:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+
+    print(f"\nAll {len(fixtures)} fixtures behaved as asserted.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
